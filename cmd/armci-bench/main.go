@@ -1,0 +1,210 @@
+// Command armci-bench regenerates the communication figures of the
+// paper (Figures 3, 4, and 5) and the ablation tables on the simulated
+// platforms.
+//
+// Usage:
+//
+//	armci-bench -fig 3 [-platform bgp|ib|xt5|xe6] [-quick]
+//	armci-bench -fig 4 [-platform ...] [-op get|put|acc] [-quick]
+//	armci-bench -fig 5 [-quick]
+//	armci-bench -fig ablations
+//	armci-bench -fig table2
+//
+// With no -platform, figure sweeps run on all four platforms. Output is
+// gnuplot-style columns on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/platform"
+)
+
+func main() {
+	fig := flag.String("fig", "3", "what to regenerate: 3, 4, 5, 6? use nwchem-bench; ablations, table2, all")
+	plat := flag.String("platform", "", "platform (bgp, ib, xt5, xe6); empty = all")
+	op := flag.String("op", "", "operation filter for fig 4 (get, put, acc); empty = all")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	flag.Parse()
+
+	if err := run(*fig, *plat, *op, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "armci-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func platforms(name string) ([]*platform.Platform, error) {
+	if name == "" {
+		return platform.All(), nil
+	}
+	p, err := platform.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*platform.Platform{p}, nil
+}
+
+func run(fig, plat, opFilter string, quick bool) error {
+	switch fig {
+	case "3", "4", "5", "ablations", "table2", "all":
+	default:
+		return fmt.Errorf("unknown -fig %q", fig)
+	}
+	if fig == "table2" || fig == "all" {
+		bench.Table2(os.Stdout)
+		if fig == "table2" {
+			return nil
+		}
+	}
+	if fig == "3" || fig == "all" {
+		cfg := bench.DefaultFig3()
+		if quick {
+			cfg = bench.QuickFig3()
+		}
+		ps, err := platforms(plat)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			f, err := bench.Fig3(p, cfg)
+			if err != nil {
+				return err
+			}
+			f.Print(os.Stdout)
+		}
+		if fig == "3" {
+			return nil
+		}
+	}
+	if fig == "4" || fig == "all" {
+		cfg := bench.DefaultFig4()
+		if quick {
+			cfg = bench.QuickFig4()
+		}
+		ops := []bench.ContigOp{bench.OpGet, bench.OpAcc, bench.OpPut}
+		if opFilter != "" {
+			ops = []bench.ContigOp{bench.ContigOp(opFilter)}
+		}
+		ps, err := platforms(plat)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			for _, seg := range cfg.SegSizes {
+				for _, o := range ops {
+					f, err := bench.Fig4(p, o, seg, cfg)
+					if err != nil {
+						return err
+					}
+					f.Print(os.Stdout)
+				}
+			}
+		}
+		if fig == "4" {
+			return nil
+		}
+	}
+	if fig == "5" || fig == "all" {
+		cfg := bench.DefaultFig5()
+		if quick {
+			cfg = bench.QuickFig5()
+		}
+		f, err := bench.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		f.Print(os.Stdout)
+		if fig == "5" {
+			return nil
+		}
+	}
+	if fig == "ablations" || fig == "all" {
+		return ablations()
+	}
+	return nil
+}
+
+func ablations() error {
+	ib := platform.Get(platform.InfiniBand)
+	fmt.Println("# Ablation: read-modify-write latency (us/op), InfiniBand")
+	rmw, err := bench.AblationRmw(ib, 16)
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"native-atomic", "mpi3-fetchop", "mpi2-mutex"} {
+		fmt.Printf("%-16s %10.2f\n", k, rmw[k])
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: SectionVIII.A access modes (total us, 4 readers x 8 gets of 64KiB)")
+	modes, err := bench.AblationAccessModes(ib, 4, 8, 1<<16)
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"conflicting", "read-only"} {
+		fmt.Printf("%-16s %10.2f\n", k, modes[k])
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: strided method bandwidth (GB/s, 256 x 1KiB segments per platform)")
+	for _, p := range platform.All() {
+		sm, err := bench.AblationStridedMethods(p, 1024, 256, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s", p.Name)
+		for _, k := range []string{"Native", "Direct", "IOV-Direct", "IOV-Batched", "IOV-Consrv"} {
+			fmt.Printf("  %s=%.3f", k, sm[k])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: batched-method epoch size B (GB/s, 64 x 256B segments, InfiniBand)")
+	bs, err := bench.AblationBatchSize(ib, 256, 64, []int{1, 4, 16, 64, 0}, 3)
+	if err != nil {
+		return err
+	}
+	for _, b := range []int{1, 4, 16, 64, 0} {
+		label := fmt.Sprint(b)
+		if b == 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("B=%-10s %8.3f\n", label, bs[b])
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: SectionV.F asynchronous progress (put latency us, 20us service delay when disabled)")
+	ap, err := bench.AblationAsyncProgress(ib, 20000, 16)
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"async-progress", "no-async-progress"} {
+		fmt.Printf("%-20s %10.2f\n", k, ap[k])
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: SectionVIII.B MPI-3 backend vs the paper's MPI-2 design (CCSD proxy, 8 procs, virtual ms)")
+	m3, err := bench.AblationMPI3Backend(ib, 8)
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"mpi2-epochs", "mpi3-lockall"} {
+		fmt.Printf("%-16s %10.3f\n", k, m3[k])
+	}
+	fmt.Println()
+
+	fmt.Println("# Ablation: SectionIX two-sided data-server ARMCI vs one-sided stacks")
+	fmt.Println("# (4 concurrent 1MiB getters: aggregate GB/s; CCSD proxy at 16 procs: virtual ms)")
+	ds, err := bench.AblationDataServer(ib, 4, 3, 1<<20)
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"native", "armci-mpi", "armci-ds"} {
+		fmt.Printf("%-12s bw=%-8.3f ccsd=%.3f\n", k, ds[k], ds["ccsd-"+k])
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Command platforms prints the paper's Table II (experimental
+// platforms and system characteristics) plus the calibrated model
+// parameters behind each simulated machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/platform"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print the calibrated model parameters")
+	flag.Parse()
+
+	bench.Table2(os.Stdout)
+	if !*verbose {
+		return
+	}
+	fmt.Println("# Calibrated model parameters")
+	for _, p := range platform.All() {
+		fmt.Printf("%s (%s)\n", p.Name, p.System)
+		fmt.Printf("  link: %.2f GB/s, latency %.1f us, per-msg overhead %.0f ns\n",
+			p.Bandwidth/1e9, p.LatencyNs/1e3, p.MsgOverhead)
+		fmt.Printf("  cpu: copy %.2f GB/s, %.1f Gflop/s per core, %d cores/node\n",
+			p.CopyRate/1e9, p.Flops/1e9, p.CoresPerNode)
+		if p.PinPageNs > 0 {
+			fmt.Printf("  registration: %.0f us/page, bounce threshold %d B\n",
+				p.PinPageNs/1e3, p.BounceThreshold)
+		}
+		fmt.Printf("  native ARMCI: %.0f%% of link bw, %.0f ns/op",
+			p.Native.BandwidthFrac*100, p.Native.OpOverheadNs)
+		if p.Native.ScalePenaltyNs > 0 {
+			fmt.Printf(", %.1f us/op scale penalty per log2(P)", p.Native.ScalePenaltyNs/1e3)
+		}
+		fmt.Println()
+		fmt.Printf("  MPI RMA: %.0f%% of link bw, %.0f ns/op", p.MPI.BandwidthFrac*100, p.MPI.OpOverheadNs)
+		if p.MPI.LargeFrac > 0 {
+			fmt.Printf(", %.0f%% beyond %d B", p.MPI.LargeFrac*100, p.MPI.LargeAt)
+		}
+		if p.MPI.QueueSlowdownNs > 0 {
+			fmt.Printf(", epoch-queue slowdown %.0f ns/op beyond %d ops",
+				p.MPI.QueueSlowdownNs, p.MPI.QueueThreshold)
+		}
+		fmt.Println()
+	}
+}

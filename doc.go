@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Supporting the
+// Global Arrays PGAS Model Using MPI One-Sided Communication" (Dinan,
+// Balaji, Hammond, Krishnamoorthy, Tipparaju — IPDPS/IPPS 2012): the
+// ARMCI-MPI runtime, its native-ARMCI baseline, the MPI RMA substrate,
+// the Global Arrays layer, an NWChem CCSD(T) proxy application, and a
+// deterministic simulated-cluster fabric for the paper's four
+// platforms, plus a benchmark harness regenerating every table and
+// figure of the evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

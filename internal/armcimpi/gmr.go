@@ -1,0 +1,344 @@
+// Package armcimpi is the paper's contribution: a complete
+// implementation of the ARMCI runtime system on MPI one-sided
+// communication (SectionV). The global memory region (GMR) layer
+// translates between ARMCI's <process, address> global address space
+// and MPI's <window, displacement> space, manages allocation and
+// (leader-elected) free, and arbitrates access so MPI-2's conflicting-
+// access rules are never violated: every operation runs inside its own
+// exclusive-lock passive-target epoch unless an access-mode hint
+// (SectionVIII.A) permits shared locks.
+package armcimpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Method selects a noncontiguous transfer strategy (SectionVI).
+type Method int
+
+const (
+	// MethodConservative issues one operation per segment, each in its
+	// own epoch; segments may span GMRs and overlap.
+	MethodConservative Method = iota
+	// MethodBatched issues up to BatchSize operations per epoch; all
+	// segments must fall in one GMR and must not overlap.
+	MethodBatched
+	// MethodIOVDirect builds MPI indexed datatypes for source and
+	// destination and issues a single operation.
+	MethodIOVDirect
+	// MethodDirect translates strided descriptors straight into MPI
+	// subarray datatypes (strided operations only).
+	MethodDirect
+	// MethodAuto scans the descriptor with the conflict tree
+	// (SectionVI.B) and picks the fast method when safe, falling back
+	// to conservative otherwise.
+	MethodAuto
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodConservative:
+		return "conservative"
+	case MethodBatched:
+		return "batched"
+	case MethodIOVDirect:
+		return "iov-direct"
+	case MethodDirect:
+		return "direct"
+	case MethodAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tunes the ARMCI-MPI runtime.
+type Options struct {
+	// StridedMethod selects the strategy for PutS/GetS/AccS.
+	// MethodDirect is the default (SectionVI.C).
+	StridedMethod Method
+	// IOVMethod selects the strategy for PutV/GetV/AccV.
+	// MethodAuto is the default (SectionVI.B).
+	IOVMethod Method
+	// AutoFast is the method auto falls forward to when the conflict
+	// scan finds no overlap (default MethodBatched).
+	AutoFast Method
+	// BatchSize bounds operations per epoch in the batched method;
+	// 0 means unlimited (the paper's default B=0).
+	BatchSize int
+	// UseMPI3 switches read-modify-write to MPI-3 fetch-and-op and
+	// enables lock-all-based ablations; requires the MPI world to have
+	// MPI-3 enabled.
+	UseMPI3 bool
+	// NoStaging disables the global-buffer staging path (safe only on
+	// coherent systems where the MPI implementation allows concurrent
+	// access, SectionV.E.1).
+	NoStaging bool
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{StridedMethod: MethodDirect, IOVMethod: MethodAuto, AutoFast: MethodBatched}
+}
+
+// World is the shared state of the ARMCI-MPI job: the GMR translation
+// table (SectionV.A).
+type World struct {
+	Mpi    *mpi.World
+	gmrs   []*GMR
+	nextID int
+
+	// Counters.
+	Staged    int64 // global-buffer staging events (SectionV.E.1)
+	AutoScans int64 // conflict-tree scans performed by MethodAuto
+	AutoFalls int64 // scans that fell back to conservative
+}
+
+// NewWorld creates ARMCI-MPI state on an MPI world.
+func NewWorld(mw *mpi.World) *World { return &World{Mpi: mw} }
+
+// GMR is one global memory region: an ARMCI allocation backed by an
+// MPI window (SectionV.B).
+type GMR struct {
+	id     int
+	group  []int        // world ranks (ascending)
+	rankOf map[int]int  // world rank -> group (window) rank
+	addrs  []armci.Addr // base address per group rank (Nil if size 0)
+	sizes  []int
+	mode   armci.AccessMode
+
+	wins  map[int]*mpi.Win // per-world-rank window handle
+	mutex map[int]*Mutexes // per-world-rank handle of the RMW mutex set
+}
+
+// find locates the GMR containing the address and returns the window
+// rank and byte displacement.
+func (w *World) find(addr armci.Addr) (*GMR, int, int, bool) {
+	for _, g := range w.gmrs {
+		gr, ok := g.rankOf[addr.Rank]
+		if !ok {
+			continue
+		}
+		base := g.addrs[gr]
+		if base.Nil() {
+			continue
+		}
+		if addr.VA >= base.VA && addr.VA < base.VA+int64(g.sizes[gr]) {
+			return g, gr, int(addr.VA - base.VA), true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// byID returns a registered GMR.
+func (w *World) byID(id int) *GMR {
+	for _, g := range w.gmrs {
+		if g.id == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// Runtime is one rank's ARMCI-MPI handle.
+type Runtime struct {
+	W   *World
+	R   *mpi.Rank
+	Opt Options
+
+	coll    armci.MPIColl
+	dla     map[int64]*GMR    // open direct-local-access sections by base VA
+	pending map[*mpi.Win]bool // windows with unfenced MPI-3 request ops
+}
+
+// New creates the per-rank ARMCI-MPI runtime handle.
+func New(w *World, r *mpi.Rank, opt Options) *Runtime {
+	return &Runtime{
+		W: w, R: r, Opt: opt,
+		coll:    armci.MPIColl{R: r},
+		dla:     map[int64]*GMR{},
+		pending: map[*mpi.Win]bool{},
+	}
+}
+
+var _ armci.Runtime = (*Runtime)(nil)
+
+// Name identifies the implementation.
+func (r *Runtime) Name() string { return "armci-mpi" }
+
+// Rank returns the calling world rank.
+func (r *Runtime) Rank() int { return r.R.ID() }
+
+// Nprocs returns the world size.
+func (r *Runtime) Nprocs() int { return r.W.Mpi.N }
+
+// Proc returns the simulation context.
+func (r *Runtime) Proc() *sim.Proc { return r.R.P }
+
+// Malloc collectively allocates globally accessible memory on the
+// world and returns the base-address vector (SectionV.B).
+func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
+	members := make([]int, r.Nprocs())
+	for i := range members {
+		members[i] = i
+	}
+	return r.mallocOn(r.R.CommWorld(), members, bytes)
+}
+
+// MallocGroup allocates over an ARMCI group.
+func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
+	if g == nil {
+		return nil, fmt.Errorf("armcimpi: MallocGroup with nil group")
+	}
+	return r.mallocOn(armci.GroupCommOf(g), g.Ranks, bytes)
+}
+
+func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Addr, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("armcimpi: Malloc(%d): negative size", bytes)
+	}
+	if comm == nil {
+		return nil, fmt.Errorf("armcimpi: Malloc without a communicator")
+	}
+	var reg *fabric.Region
+	var va int64
+	if bytes > 0 {
+		reg = r.R.AllocMem(bytes)
+		va = reg.VA
+	}
+	// Create the MPI window over the group's communicator and exchange
+	// base addresses (the all-to-all of SectionV.B).
+	win, err := mpi.WinCreate(comm, reg)
+	if err != nil {
+		return nil, err
+	}
+	vas := comm.AllgatherI64([]int64{va, int64(bytes)})
+	// The group's first member enters the GMR into the translation
+	// table; its id is broadcast so all members attach to one entry.
+	var id int
+	if comm.Rank() == 0 {
+		g := &GMR{
+			id:     r.W.nextID,
+			group:  append([]int(nil), members...),
+			rankOf: map[int]int{},
+			addrs:  make([]armci.Addr, len(members)),
+			sizes:  make([]int, len(members)),
+			wins:   map[int]*mpi.Win{},
+			mutex:  map[int]*Mutexes{},
+		}
+		r.W.nextID++
+		for i, world := range members {
+			g.rankOf[world] = i
+			g.sizes[i] = int(vas[2*i+1])
+			if g.sizes[i] > 0 {
+				g.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+			}
+		}
+		r.W.gmrs = append(r.W.gmrs, g)
+		id = g.id
+	}
+	id = int(comm.BcastI64(0, []int64{int64(id)})[0])
+	g := r.W.byID(id)
+	g.wins[r.Rank()] = win
+	// The per-GMR mutex for read-modify-write (SectionV.D).
+	mux, err := newMutexes(r, comm, 1)
+	if err != nil {
+		return nil, err
+	}
+	g.mutex[r.Rank()] = mux
+	comm.Barrier()
+	return append([]armci.Addr(nil), g.addrs...), nil
+}
+
+// Free collectively releases a world allocation; processes with a
+// zero-size slice pass the Nil address and learn the allocation via
+// the leader-election protocol of SectionV.B.
+func (r *Runtime) Free(addr armci.Addr) error {
+	return r.freeOn(r.R.CommWorld(), addr)
+}
+
+// FreeGroup releases a group allocation.
+func (r *Runtime) FreeGroup(g *armci.Group, addr armci.Addr) error {
+	if g == nil {
+		return fmt.Errorf("armcimpi: FreeGroup with nil group")
+	}
+	return r.freeOn(armci.GroupCommOf(g), addr)
+}
+
+func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr) error {
+	// Leader election: processes with a non-NULL address put forth
+	// their rank; the maximum wins and broadcasts its address.
+	mine := int64(-1)
+	if !addr.Nil() {
+		mine = int64(r.Rank())
+	}
+	red := comm.AllreduceI64(mpi.OpMax, []int64{mine})
+	leader := int(red[0])
+	if leader < 0 {
+		return fmt.Errorf("armcimpi: Free: all processes passed NULL")
+	}
+	var hdr []int64
+	leaderComm := comm.RankOfWorld(leader)
+	if r.Rank() == leader {
+		hdr = []int64{addr.VA}
+	} else {
+		hdr = make([]int64, 1)
+	}
+	hdr = comm.BcastI64(leaderComm, hdr)
+	key := armci.Addr{Rank: leader, VA: hdr[0]}
+	g, _, _, ok := r.W.find(key)
+	if !ok {
+		return fmt.Errorf("armcimpi: Free(%v): no GMR for leader address", key)
+	}
+	// Destroy the RMW mutex and the window, then release local memory.
+	if mux := g.mutex[r.Rank()]; mux != nil {
+		if err := mux.Destroy(); err != nil {
+			return err
+		}
+	}
+	win := g.wins[r.Rank()]
+	if err := r.ensureNoLockAll(win); err != nil {
+		return err
+	}
+	delete(r.pending, win)
+	if err := win.Free(); err != nil {
+		return err
+	}
+	gr := g.rankOf[r.Rank()]
+	if g.sizes[gr] > 0 {
+		if err := r.W.Mpi.M.Space(r.Rank()).Free(g.addrs[gr].VA); err != nil {
+			return err
+		}
+	}
+	comm.Barrier()
+	if comm.Rank() == 0 {
+		for i, e := range r.W.gmrs {
+			if e == g {
+				r.W.gmrs = append(r.W.gmrs[:i], r.W.gmrs[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// MallocLocal allocates local buffer memory via MPI_Alloc_mem, the
+// only allocator ARMCI-MPI has (whether it is pre-registered depends
+// on the MPI library; see Figure 5).
+func (r *Runtime) MallocLocal(bytes int) armci.Addr {
+	reg := r.R.AllocMem(bytes)
+	return armci.Addr{Rank: r.Rank(), VA: reg.VA}
+}
+
+// FreeLocal releases local buffer memory.
+func (r *Runtime) FreeLocal(addr armci.Addr) error {
+	if addr.Rank != r.Rank() {
+		return fmt.Errorf("armcimpi: FreeLocal of remote address %v", addr)
+	}
+	return r.W.Mpi.M.Space(r.Rank()).Free(addr.VA)
+}

@@ -1,0 +1,199 @@
+package armcimpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/mpi"
+)
+
+// AccessBegin initiates direct load/store access to local data within
+// a GMR — the paper's DLA extension (SectionV.E). An exclusive-mode
+// epoch on the local window slice is held until AccessEnd, so remote
+// accesses cannot observe or corrupt a partially updated private copy.
+func (r *Runtime) AccessBegin(addr armci.Addr, n int) ([]byte, error) {
+	if addr.Rank != r.Rank() {
+		return nil, fmt.Errorf("armcimpi: AccessBegin on remote address %v", addr)
+	}
+	g, gr, _, ok := r.W.find(addr)
+	if !ok {
+		return nil, fmt.Errorf("armcimpi: AccessBegin: %v is not in any GMR", addr)
+	}
+	if _, open := r.dla[addr.VA]; open {
+		return nil, fmt.Errorf("armcimpi: AccessBegin: %v already open", addr)
+	}
+	win := g.wins[r.Rank()]
+	if r.Opt.UseMPI3 {
+		// Lock-all stays open; quiesce this origin's pending operations
+		// and rely on coherence for direct access (how later ARMCI-MPI
+		// releases implement DLA on MPI-3).
+		if err := r.ensureLockAll(win); err != nil {
+			return nil, err
+		}
+		if err := win.FlushAll(); err != nil {
+			return nil, err
+		}
+	} else if err := win.Lock(mpi.LockExclusive, gr); err != nil {
+		return nil, err
+	}
+	r.dla[addr.VA] = g
+	reg := r.W.Mpi.M.Space(r.Rank()).Find(addr.VA, n)
+	if reg == nil {
+		return nil, fmt.Errorf("armcimpi: AccessBegin: %v(+%d) out of bounds", addr, n)
+	}
+	return reg.Bytes(addr.VA, n), nil
+}
+
+// AccessEnd completes a direct access section, releasing the exclusive
+// self-lock (and with it, publishing the private copy).
+func (r *Runtime) AccessEnd(addr armci.Addr) error {
+	g, open := r.dla[addr.VA]
+	if !open {
+		return fmt.Errorf("armcimpi: AccessEnd without AccessBegin at %v", addr)
+	}
+	delete(r.dla, addr.VA)
+	if r.Opt.UseMPI3 {
+		return nil // lock-all stays open; coherence publishes the stores
+	}
+	gr := g.rankOf[r.Rank()]
+	return g.wins[r.Rank()].Unlock(gr)
+}
+
+// SetAccessMode installs the SectionVIII.A access-mode hint on the
+// allocation containing addr. Collective over the GMR's group: all
+// processes must agree on the phase change, and in-flight conflicting
+// operations must be complete.
+func (r *Runtime) SetAccessMode(mode armci.AccessMode, addr armci.Addr) error {
+	g, _, _, ok := r.W.find(addr)
+	if !ok {
+		return fmt.Errorf("armcimpi: SetAccessMode: %v is not in any GMR", addr)
+	}
+	// Fence is free (SectionV.F); the barrier orders the phase change.
+	r.Barrier()
+	g.mode = mode
+	r.Barrier()
+	return nil
+}
+
+// Rmw performs an atomic read-modify-write. MPI 2.2 has no atomic
+// fetch-and-op and a get+put pair conflicts within one epoch, so the
+// operation takes the GMR's mutex and uses two epochs — read and write
+// (SectionV.D). With UseMPI3, a single fetch-and-op inside one epoch
+// is used instead (SectionVIII.B's extension).
+func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, error) {
+	if addr.Nil() {
+		return 0, fmt.Errorf("armcimpi: Rmw on NULL address")
+	}
+	g, gr, disp, err := r.remote(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	win := g.wins[r.Rank()]
+	if r.Opt.UseMPI3 {
+		// SectionVIII.B: a single atomic fetch-and-op under lock-all —
+		// no lock round trips, no mutex.
+		if err := r.ensureLockAll(win); err != nil {
+			return 0, err
+		}
+		var old int64
+		switch op {
+		case armci.FetchAndAdd:
+			old, err = win.FetchAndOp(mpi.OpSum, operand, gr, disp)
+		case armci.Swap:
+			old, err = win.FetchAndOp(mpi.OpReplace, operand, gr, disp)
+		default:
+			err = fmt.Errorf("armcimpi: unknown RMW op %v", op)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return old, nil
+	}
+	// MPI-2 path: mutex + read epoch + write epoch.
+	mux := g.mutex[r.Rank()]
+	mux.Lock(0, addr.Rank)
+	scratch := r.R.AllocMem(8)
+	defer r.W.Mpi.M.Space(r.Rank()).Free(scratch.VA)
+	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
+		return 0, err
+	}
+	if err := win.Get(mpi.LocalBuf{Region: scratch, Off: 0, Type: mpi.TypeContiguous(8)}, gr, disp, mpi.TypeContiguous(8)); err != nil {
+		return 0, err
+	}
+	if err := win.Unlock(gr); err != nil {
+		return 0, err
+	}
+	old := int64(binary.LittleEndian.Uint64(scratch.Data))
+	var nv int64
+	switch op {
+	case armci.FetchAndAdd:
+		nv = old + operand
+	case armci.Swap:
+		nv = operand
+	default:
+		return 0, fmt.Errorf("armcimpi: unknown RMW op %v", op)
+	}
+	binary.LittleEndian.PutUint64(scratch.Data, uint64(nv))
+	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
+		return 0, err
+	}
+	if err := win.Put(mpi.LocalBuf{Region: scratch, Off: 0, Type: mpi.TypeContiguous(8)}, gr, disp, mpi.TypeContiguous(8)); err != nil {
+		return 0, err
+	}
+	if err := win.Unlock(gr); err != nil {
+		return 0, err
+	}
+	mux.Unlock(0, addr.Rank)
+	return old, nil
+}
+
+// GroupCreateCollective creates an ARMCI processor group; all world
+// processes call (non-members receive nil). Backed directly by an MPI
+// communicator (SectionV.A).
+func (r *Runtime) GroupCreateCollective(members []int) (*armci.Group, error) {
+	ms := sortedUnique(members)
+	impl := r.coll.GroupComm(ms, true)
+	if impl == nil {
+		return nil, nil
+	}
+	return &armci.Group{Ranks: ms, Impl: impl}, nil
+}
+
+// GroupCreate creates a group noncollectively — only members call —
+// using the recursive intercommunicator creation and merging algorithm
+// of the authors' prior work (SectionV.A).
+func (r *Runtime) GroupCreate(members []int) (*armci.Group, error) {
+	ms := sortedUnique(members)
+	impl := r.coll.GroupComm(ms, false)
+	return &armci.Group{Ranks: ms, Impl: impl}, nil
+}
+
+func sortedUnique(members []int) []int {
+	ms := append([]int(nil), members...)
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j] < ms[j-1]; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	out := ms[:0]
+	for i, v := range ms {
+		if i == 0 || v != ms[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LocalBytes exposes local buffer memory on the calling process. For
+// addresses inside a GMR the DLA calls must be used instead.
+func (r *Runtime) LocalBytes(addr armci.Addr, n int) ([]byte, error) {
+	if addr.Rank != r.Rank() {
+		return nil, fmt.Errorf("armcimpi: LocalBytes on remote address %v", addr)
+	}
+	reg := r.W.Mpi.M.Space(r.Rank()).Find(addr.VA, n)
+	if reg == nil {
+		return nil, fmt.Errorf("armcimpi: LocalBytes: %v(+%d) not in any allocation", addr, n)
+	}
+	return reg.Bytes(addr.VA, n), nil
+}

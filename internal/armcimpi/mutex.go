@@ -1,0 +1,154 @@
+package armcimpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// Mutexes implements the ARMCI mutex API with the MPI RMA queueing
+// mutex algorithm of Latham et al. (SectionV.D): each mutex is a byte
+// vector B of length nproc on its host; a lock sets B[i]=1 and fetches
+// all other entries in one exclusive epoch. If any other entry is set,
+// the process is enqueued and blocks in a wildcard-source MPI receive,
+// generating no network traffic while it waits. Unlock clears B[i],
+// fetches the rest, and forwards the lock to the first waiter found in
+// a circular scan starting at i+1 (fairness) with a zero-byte message.
+type Mutexes struct {
+	r       *Runtime
+	comm    *mpi.Comm // dedicated communicator (notification isolation)
+	win     *mpi.Win
+	counts  []int // mutexes hosted per comm rank
+	scratch *fabric.Region
+}
+
+// newMutexes collectively creates a mutex set over comm, with the
+// caller hosting n mutexes.
+func newMutexes(r *Runtime, parent *mpi.Comm, n int) (*Mutexes, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("armcimpi: CreateMutexes(%d)", n)
+	}
+	comm := parent.Dup()
+	counts64 := comm.AllgatherI64([]int64{int64(n)})
+	counts := make([]int, len(counts64))
+	for i, c := range counts64 {
+		counts[i] = int(c)
+	}
+	reg := r.R.AllocMem(n * comm.Size())
+	win, err := mpi.WinCreate(comm, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Mutexes{
+		r:       r,
+		comm:    comm,
+		win:     win,
+		counts:  counts,
+		scratch: r.R.AllocMem(comm.Size() + 1),
+	}, nil
+}
+
+// CreateMutexes collectively creates n mutexes hosted on the calling
+// process over the world.
+func (r *Runtime) CreateMutexes(n int) (armci.Mutexes, error) {
+	return newMutexes(r, r.R.CommWorld(), n)
+}
+
+func (m *Mutexes) tag(host, mtx int) int { return host*4096 + mtx }
+
+// epoch performs the algorithm's single exclusive access epoch at the
+// host: write my byte and fetch all others. Returns the other entries
+// (indexed by comm rank, with my own slot zeroed).
+func (m *Mutexes) epoch(host, mtx int, myByte byte) ([]byte, error) {
+	me := m.comm.Rank()
+	n := m.comm.Size()
+	base := mtx * n
+	m.scratch.Data[0] = myByte
+	if err := m.win.Lock(mpi.LockExclusive, host); err != nil {
+		return nil, err
+	}
+	if err := m.win.Put(
+		mpi.LocalBuf{Region: m.scratch, Off: 0, Type: mpi.TypeContiguous(1)},
+		host, base+me, mpi.TypeContiguous(1)); err != nil {
+		return nil, err
+	}
+	if me > 0 {
+		if err := m.win.Get(
+			mpi.LocalBuf{Region: m.scratch, Off: 1, Type: mpi.TypeContiguous(me)},
+			host, base, mpi.TypeContiguous(me)); err != nil {
+			return nil, err
+		}
+	}
+	if rest := n - me - 1; rest > 0 {
+		if err := m.win.Get(
+			mpi.LocalBuf{Region: m.scratch, Off: 1 + me, Type: mpi.TypeContiguous(rest)},
+			host, base+me+1, mpi.TypeContiguous(rest)); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.win.Unlock(host); err != nil {
+		return nil, err
+	}
+	others := make([]byte, n)
+	copy(others[:me], m.scratch.Data[1:1+me])
+	copy(others[me+1:], m.scratch.Data[1+me:n])
+	return others, nil
+}
+
+// Lock acquires mutex mtx hosted on world rank proc.
+func (m *Mutexes) Lock(mtx, proc int) {
+	host := m.comm.RankOfWorld(proc)
+	if host < 0 || mtx < 0 || mtx >= m.counts[host] {
+		panic(fmt.Sprintf("armcimpi: Lock(%d,%d): invalid mutex", mtx, proc))
+	}
+	others, err := m.epoch(host, mtx, 1)
+	if err != nil {
+		panic(fmt.Sprintf("armcimpi: mutex lock epoch failed: %v", err))
+	}
+	for _, b := range others {
+		if b != 0 {
+			// Enqueued: wait locally for the lock to be forwarded.
+			m.comm.Recv(mpi.AnySource, m.tag(host, mtx))
+			return
+		}
+	}
+}
+
+// Unlock releases mutex mtx on world rank proc, forwarding it to the
+// next waiting process in circular order.
+func (m *Mutexes) Unlock(mtx, proc int) {
+	host := m.comm.RankOfWorld(proc)
+	if host < 0 || mtx < 0 || mtx >= m.counts[host] {
+		panic(fmt.Sprintf("armcimpi: Unlock(%d,%d): invalid mutex", mtx, proc))
+	}
+	others, err := m.epoch(host, mtx, 0)
+	if err != nil {
+		panic(fmt.Sprintf("armcimpi: mutex unlock epoch failed: %v", err))
+	}
+	me := m.comm.Rank()
+	n := m.comm.Size()
+	// Scan from me+1 for fairness (SectionV.D).
+	for k := 1; k < n; k++ {
+		j := (me + k) % n
+		if others[j] != 0 {
+			m.comm.Send(j, m.tag(host, mtx), nil)
+			return
+		}
+	}
+}
+
+// Destroy collectively frees the mutex set.
+func (m *Mutexes) Destroy() error {
+	if err := m.win.Free(); err != nil {
+		return err
+	}
+	sp := m.r.W.Mpi.M.Space(m.r.Rank())
+	if m.win.LocalRegion() != nil {
+		if err := sp.Free(m.win.LocalRegion().VA); err != nil {
+			return err
+		}
+	}
+	return sp.Free(m.scratch.VA)
+}

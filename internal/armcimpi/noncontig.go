@@ -1,0 +1,450 @@
+package armcimpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/conflicttree"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// stridedMethod resolves the configured strided strategy.
+func (r *Runtime) stridedMethod() Method {
+	switch r.Opt.StridedMethod {
+	case MethodDirect, MethodIOVDirect, MethodBatched, MethodConservative:
+		return r.Opt.StridedMethod
+	case MethodAuto:
+		return MethodDirect // strided descriptors cannot self-overlap
+	default:
+		return MethodDirect
+	}
+}
+
+// PutS performs a strided put using the configured method.
+func (r *Runtime) PutS(s *armci.Strided) error { return r.strided(classPut, 1, s) }
+
+// GetS performs a strided get using the configured method.
+func (r *Runtime) GetS(s *armci.Strided) error { return r.strided(classGet, 1, s) }
+
+// AccS performs a strided accumulate (dst += scale*src).
+func (r *Runtime) AccS(op armci.AccOp, scale float64, s *armci.Strided) error {
+	if s.SegBytes()%8 != 0 {
+		return fmt.Errorf("armcimpi: AccS segment size %d not float64-aligned", s.SegBytes())
+	}
+	return r.strided(classAcc, scale, s)
+}
+
+func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	switch r.stridedMethod() {
+	case MethodDirect:
+		return r.stridedDirect(class, scale, s)
+	default:
+		g := s.ToGIOV()
+		proc := s.Dst.Rank
+		if class == classGet {
+			proc = s.Src.Rank
+		}
+		return r.iov(class, scale, []armci.GIOV{g}, proc, r.stridedMethod())
+	}
+}
+
+// stridedDirect translates the strided descriptor straight into MPI
+// subarray datatypes (SectionVI.C) and issues one operation in one
+// epoch; MPI may then optimize the transfer (pack/unpack or otherwise).
+func (r *Runtime) stridedDirect(class opClass, scale float64, s *armci.Strided) error {
+	localAddr, remoteAddr := s.Src, s.Dst
+	localStride, remoteStride := s.SrcStride, s.DstStride
+	localSpan, remoteSpan := s.SrcSpan(), s.DstSpan()
+	if class == classGet {
+		localAddr, remoteAddr = s.Dst, s.Src
+		localStride, remoteStride = s.DstStride, s.SrcStride
+		localSpan, remoteSpan = s.DstSpan(), s.SrcSpan()
+	}
+	g, gr, disp, err := r.remote(remoteAddr, remoteSpan)
+	if err != nil {
+		return err
+	}
+	v, err := r.acquireLocal(localAddr, localSpan)
+	if err != nil {
+		return err
+	}
+	ltype := stridedType(localStride, s.Count)
+	rtype := stridedType(remoteStride, s.Count)
+	buf := v.buf(localAddr.VA, ltype)
+
+	// Accumulate with a scale factor requires pre-scaling into a dense
+	// temporary (SectionVI.C + MPI's missing scale argument).
+	var scaled *fabric.Region
+	if class == classAcc && scale != 1 {
+		scaled, err = r.prescale(v, localAddr.VA, ltype, scale)
+		if err != nil {
+			return err
+		}
+		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(ltype.Size())}
+	}
+	e, err := r.beginEpoch(g, gr, class)
+	if err != nil {
+		return err
+	}
+	switch class {
+	case classPut:
+		err = e.put(buf, disp, rtype)
+	case classGet:
+		err = e.get(buf, disp, rtype)
+	case classAcc:
+		err = e.acc(buf, disp, rtype)
+	}
+	if err != nil {
+		return err
+	}
+	if err := e.end(); err != nil {
+		return err
+	}
+	if scaled != nil {
+		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
+			return err
+		}
+	}
+	return r.release(v, class == classGet)
+}
+
+// stridedType builds the MPI datatype for one side of a strided
+// transfer: the SectionVI.C subarray translation when strides nest
+// evenly, an indexed type otherwise.
+func stridedType(stride, count []int) mpi.Datatype {
+	if sizes, subsizes, starts, ok := subarrayFor(stride, count); ok {
+		return mpi.TypeSubarray(sizes, subsizes, starts, 1)
+	}
+	// Fallback: enumerate segments (Algorithm 1) into an indexed type.
+	sl := len(count) - 1
+	segs := 1
+	for _, c := range count[1:] {
+		segs *= c
+	}
+	offs := make([]int, 0, segs)
+	lens := make([]int, 0, segs)
+	idx := make([]int, sl)
+	for done := false; !done; {
+		off := 0
+		for i := 0; i < sl; i++ {
+			off += stride[i] * idx[i]
+		}
+		offs = append(offs, off)
+		lens = append(lens, count[0])
+		done = true
+		for i := 0; i < sl; i++ {
+			idx[i]++
+			if idx[i] < count[i+1] {
+				done = false
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return mpi.TypeIndexed(offs, lens)
+}
+
+func subarrayFor(stride, count []int) (sizes, subsizes, starts []int, ok bool) {
+	s := armci.Strided{SrcStride: stride, DstStride: stride, Count: count}
+	return s.SrcSubarray()
+}
+
+// prescale produces a dense buffer holding scale*src for an arbitrary
+// origin datatype.
+func (r *Runtime) prescale(v *localView, baseVA int64, t mpi.Datatype, scale float64) (*fabric.Region, error) {
+	n := t.Size()
+	out := r.R.AllocMem(n)
+	m := r.W.Mpi.M
+	m.CopyLocal(r.R.P, n)
+	m.Compute(r.R.P, float64(n/8))
+	src := v.reg.Bytes(v.reg.VA+(baseVA-v.base), t.Span())
+	pos := 0
+	t.Segments(func(off, ln int) {
+		vals := mpi.BytesToF64s(src[off : off+ln])
+		sc := make([]float64, len(vals))
+		for i, x := range vals {
+			sc[i] = x * scale
+		}
+		copy(out.Data[pos:pos+ln], mpi.F64sToBytes(sc))
+		pos += ln
+	})
+	return out, nil
+}
+
+// PutV performs a generalized I/O vector put to proc.
+func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
+	return r.iov(classPut, 1, iov, proc, r.Opt.IOVMethod)
+}
+
+// GetV performs a generalized I/O vector get from proc.
+func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
+	return r.iov(classGet, 1, iov, proc, r.Opt.IOVMethod)
+}
+
+// AccV performs a generalized I/O vector accumulate to proc.
+func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) error {
+	for i := range iov {
+		if iov[i].Bytes%8 != 0 {
+			return fmt.Errorf("armcimpi: AccV segment size %d not float64-aligned", iov[i].Bytes)
+		}
+	}
+	return r.iov(classAcc, scale, iov, proc, r.Opt.IOVMethod)
+}
+
+// iovSeg is one segment with local/remote orientation resolved.
+type iovSeg struct {
+	local, remote armci.Addr
+	n             int
+}
+
+func orient(iov []armci.GIOV, class opClass) []iovSeg {
+	var segs []iovSeg
+	for gi := range iov {
+		g := &iov[gi]
+		for i := range g.Src {
+			s := iovSeg{local: g.Src[i], remote: g.Dst[i], n: g.Bytes}
+			if class == classGet {
+				s.local, s.remote = g.Dst[i], g.Src[i]
+			}
+			segs = append(segs, s)
+		}
+	}
+	return segs
+}
+
+// iov dispatches an IOV operation to the selected method (SectionVI.A).
+func (r *Runtime) iov(class opClass, scale float64, iov []armci.GIOV, proc int, method Method) error {
+	if err := armci.ValidateIOV(iov, proc, class == classGet); err != nil {
+		return err
+	}
+	segs := orient(iov, class)
+	if len(segs) == 0 {
+		return nil
+	}
+	switch method {
+	case MethodConservative:
+		return r.iovConservative(class, scale, segs)
+	case MethodBatched:
+		return r.iovBatched(class, scale, segs, proc)
+	case MethodIOVDirect, MethodDirect:
+		return r.iovDirect(class, scale, segs, proc)
+	case MethodAuto:
+		return r.iovAuto(class, scale, segs, proc)
+	default:
+		return fmt.Errorf("armcimpi: unknown IOV method %v", method)
+	}
+}
+
+// iovAuto scans the descriptor with the conflict tree (SectionVI.B):
+// if all remote segments fall in one GMR and do not overlap, the fast
+// method is safe; otherwise fall back to conservative.
+func (r *Runtime) iovAuto(class opClass, scale float64, segs []iovSeg, proc int) error {
+	r.W.AutoScans++
+	safe := true
+	var tree conflicttree.Tree
+	var g0 *GMR
+	for _, sg := range segs {
+		g, _, _, ok := r.W.find(sg.remote)
+		if !ok {
+			safe = false
+			break
+		}
+		if g0 == nil {
+			g0 = g
+		} else if g != g0 {
+			safe = false // segments correspond to different GMRs
+			break
+		}
+		if !tree.Insert(sg.remote.VA, sg.remote.VA+int64(sg.n)) {
+			safe = false // overlapping segments
+			break
+		}
+	}
+	if !safe {
+		r.W.AutoFalls++
+		return r.iovConservative(class, scale, segs)
+	}
+	fast := r.Opt.AutoFast
+	if fast != MethodBatched && fast != MethodIOVDirect {
+		fast = MethodBatched
+	}
+	if fast == MethodBatched {
+		return r.iovBatched(class, scale, segs, proc)
+	}
+	return r.iovDirect(class, scale, segs, proc)
+}
+
+// iovConservative issues one operation per segment, each in its own
+// epoch; segments may overlap and span GMRs.
+func (r *Runtime) iovConservative(class opClass, scale float64, segs []iovSeg) error {
+	for _, sg := range segs {
+		var err error
+		switch class {
+		case classPut:
+			err = r.Put(sg.local, sg.remote, sg.n)
+		case classGet:
+			err = r.Get(sg.remote, sg.local, sg.n)
+		case classAcc:
+			err = r.Acc(armci.AccDbl, scale, sg.local, sg.remote, sg.n)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iovBatched issues up to BatchSize contiguous operations per epoch;
+// all remote segments must fall in one GMR and not overlap, or MPI
+// reports an error (SectionVI.B's motivation). Local buffers living in
+// global space force the conservative path (staging cannot be done
+// while the remote epoch is open).
+func (r *Runtime) iovBatched(class opClass, scale float64, segs []iovSeg, proc int) error {
+	for _, sg := range segs {
+		if _, _, _, inGMR := r.W.find(sg.local); inGMR && !r.Opt.NoStaging {
+			return r.iovConservative(class, scale, segs)
+		}
+	}
+	g, gr, _, err := r.remoteGMR(segs[0].remote)
+	if err != nil {
+		return err
+	}
+	b := r.Opt.BatchSize
+	if b <= 0 {
+		b = len(segs)
+	}
+	base := g.addrs[gr]
+	var temps []*fabric.Region
+	for start := 0; start < len(segs); start += b {
+		end := start + b
+		if end > len(segs) {
+			end = len(segs)
+		}
+		e, err := r.beginEpoch(g, gr, class)
+		if err != nil {
+			return err
+		}
+		for _, sg := range segs[start:end] {
+			v, err := r.acquireLocal(sg.local, sg.n)
+			if err != nil {
+				return err
+			}
+			disp := int(sg.remote.VA - base.VA)
+			buf := v.buf(sg.local.VA, mpi.TypeContiguous(sg.n))
+			if class == classAcc && scale != 1 {
+				scaled, err := r.prescale(v, sg.local.VA, mpi.TypeContiguous(sg.n), scale)
+				if err != nil {
+					return err
+				}
+				temps = append(temps, scaled)
+				buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(sg.n)}
+			}
+			switch class {
+			case classPut:
+				err = e.put(buf, disp, mpi.TypeContiguous(sg.n))
+			case classGet:
+				err = e.get(buf, disp, mpi.TypeContiguous(sg.n))
+			case classAcc:
+				err = e.acc(buf, disp, mpi.TypeContiguous(sg.n))
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := e.end(); err != nil {
+			return err
+		}
+	}
+	sp := r.W.Mpi.M.Space(r.Rank())
+	for _, t := range temps {
+		if err := sp.Free(t.VA); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iovDirect builds one MPI indexed datatype per side and issues a
+// single operation, letting MPI choose pack/unpack or batching
+// (SectionVI.A's direct method).
+func (r *Runtime) iovDirect(class opClass, scale float64, segs []iovSeg, proc int) error {
+	g, gr, _, err := r.remoteGMR(segs[0].remote)
+	if err != nil {
+		return err
+	}
+	base := g.addrs[gr]
+	// Local side: offsets relative to the lowest local address.
+	localBase := segs[0].local.VA
+	for _, sg := range segs {
+		if sg.local.VA < localBase {
+			localBase = sg.local.VA
+		}
+	}
+	localSpan := 0
+	lOffs := make([]int, len(segs))
+	lLens := make([]int, len(segs))
+	rOffs := make([]int, len(segs))
+	rLens := make([]int, len(segs))
+	for i, sg := range segs {
+		lOffs[i] = int(sg.local.VA - localBase)
+		lLens[i] = sg.n
+		if lOffs[i]+sg.n > localSpan {
+			localSpan = lOffs[i] + sg.n
+		}
+		rOffs[i] = int(sg.remote.VA - base.VA)
+		rLens[i] = sg.n
+	}
+	ltype := mpi.TypeIndexed(lOffs, lLens)
+	rtype := mpi.TypeIndexed(rOffs, rLens)
+	v, err := r.acquireLocal(armci.Addr{Rank: r.Rank(), VA: localBase}, localSpan)
+	if err != nil {
+		return err
+	}
+	buf := v.buf(localBase, ltype)
+	var scaled *fabric.Region
+	if class == classAcc && scale != 1 {
+		scaled, err = r.prescale(v, localBase, ltype, scale)
+		if err != nil {
+			return err
+		}
+		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(ltype.Size())}
+	}
+	e, err := r.beginEpoch(g, gr, class)
+	if err != nil {
+		return err
+	}
+	switch class {
+	case classPut:
+		err = e.put(buf, 0, rtype)
+	case classGet:
+		err = e.get(buf, 0, rtype)
+	case classAcc:
+		err = e.acc(buf, 0, rtype)
+	}
+	if err != nil {
+		return err
+	}
+	if err := e.end(); err != nil {
+		return err
+	}
+	if scaled != nil {
+		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
+			return err
+		}
+	}
+	return r.release(v, class == classGet)
+}
+
+// remoteGMR resolves a remote address to its GMR without a span check
+// (per-segment checks happen via window bounds).
+func (r *Runtime) remoteGMR(addr armci.Addr) (*GMR, int, int, error) {
+	g, gr, disp, ok := r.W.find(addr)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("armcimpi: %v is not in any GMR", addr)
+	}
+	return g, gr, disp, nil
+}

@@ -1,0 +1,340 @@
+package armcimpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+type opClass int
+
+const (
+	classGet opClass = iota
+	classPut
+	classAcc
+)
+
+// lockType selects the epoch's lock mode for an operation against a
+// GMR: exclusive by default (SectionV.C), shared when the access-mode
+// hint guarantees the operation mix cannot conflict (SectionVIII.A).
+func lockType(g *GMR, class opClass) mpi.LockType {
+	switch {
+	case g.mode == armci.ModeReadOnly && class == classGet:
+		return mpi.LockShared
+	case g.mode == armci.ModeAccOnly && class == classAcc:
+		return mpi.LockShared
+	default:
+		return mpi.LockExclusive
+	}
+}
+
+// localView resolves the local side of an operation. If the local
+// buffer lies inside a GMR (a "global buffer", SectionV.E.1), the data
+// is staged through a temporary buffer: locking both the local and the
+// remote window would either double-lock one window (forbidden) or
+// risk deadlock through circular lock dependences, so the exclusive
+// self-lock is taken and released before the remote epoch begins.
+type localView struct {
+	reg *fabric.Region
+	// base is the VA that maps to offset 0 of reg: the region's own VA
+	// for an unstaged view, or the original buffer's VA for a staged
+	// one (the temp region mirrors the span starting there).
+	base   int64
+	staged bool
+	orig   armci.Addr
+	span   int
+	g      *GMR
+	myRank int // my rank in g's window
+}
+
+// acquireLocal prepares [addr, addr+span) for use as the local side.
+// The returned view's reg/base replace the original region/address.
+func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
+	if addr.Rank != r.Rank() {
+		return nil, fmt.Errorf("armcimpi: local buffer %v is not on rank %d", addr, r.Rank())
+	}
+	m := r.W.Mpi.M
+	reg := m.Space(r.Rank()).Find(addr.VA, span)
+	if reg == nil {
+		return nil, fmt.Errorf("armcimpi: local address %v (+%d) not in any allocation", addr, span)
+	}
+	g, gr, _, inGMR := r.W.find(addr)
+	// MPI-3 mode needs no staging: lock-all relaxes conflicting access
+	// from erroneous to undefined, and the coherent-platform assumption
+	// (SectionV.E.1) makes direct use safe.
+	if !inGMR || r.Opt.NoStaging || r.Opt.UseMPI3 {
+		return &localView{reg: reg, base: reg.VA}, nil
+	}
+	// Stage: copy the span out under an exclusive self-lock.
+	tmp := r.R.AllocMem(span)
+	win := g.wins[r.Rank()]
+	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
+		return nil, err
+	}
+	m.CopyLocal(r.R.P, span)
+	copy(tmp.Data, reg.Bytes(addr.VA, span))
+	if err := win.Unlock(gr); err != nil {
+		return nil, err
+	}
+	r.W.Staged++
+	return &localView{reg: tmp, base: addr.VA, staged: true, orig: addr, span: span, g: g, myRank: gr}, nil
+}
+
+// release finishes with a local view; when writeBack is set (get
+// operations) the staged data is copied back under a self-lock.
+func (r *Runtime) release(v *localView, writeBack bool) error {
+	if !v.staged {
+		return nil
+	}
+	m := r.W.Mpi.M
+	if writeBack {
+		win := v.g.wins[r.Rank()]
+		if err := win.Lock(mpi.LockExclusive, v.myRank); err != nil {
+			return err
+		}
+		m.CopyLocal(r.R.P, v.span)
+		orig := m.Space(r.Rank()).Find(v.orig.VA, v.span)
+		copy(orig.Bytes(v.orig.VA, v.span), v.reg.Data[:v.span])
+		if err := win.Unlock(v.myRank); err != nil {
+			return err
+		}
+	}
+	return r.W.Mpi.M.Space(r.Rank()).Free(v.reg.VA)
+}
+
+// buf builds the MPI origin buffer for the given local VA within the
+// view.
+func (v *localView) buf(va int64, t mpi.Datatype) mpi.LocalBuf {
+	return mpi.LocalBuf{Region: v.reg, Off: int(va - v.base), Type: t}
+}
+
+// remote resolves a global address to (GMR, window rank, displacement).
+func (r *Runtime) remote(addr armci.Addr, n int) (*GMR, int, int, error) {
+	g, gr, disp, ok := r.W.find(addr)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("armcimpi: %v is not in any GMR", addr)
+	}
+	if disp+n > g.sizes[gr] {
+		return nil, 0, 0, fmt.Errorf("armcimpi: access %v(+%d) overruns GMR slice of %d bytes",
+			addr, n, g.sizes[gr])
+	}
+	return g, gr, disp, nil
+}
+
+// Put copies n bytes from the local src to the global dst. Because
+// each operation completes within its own epoch, the call is both
+// locally and remotely complete on return (SectionV.F).
+func (r *Runtime) Put(src, dst armci.Addr, n int) error {
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	g, gr, disp, err := r.remote(dst, n)
+	if err != nil {
+		return err
+	}
+	v, err := r.acquireLocal(src, n)
+	if err != nil {
+		return err
+	}
+	e, err := r.beginEpoch(g, gr, classPut)
+	if err != nil {
+		return err
+	}
+	if err := e.put(v.buf(src.VA, mpi.TypeContiguous(n)), disp, mpi.TypeContiguous(n)); err != nil {
+		return err
+	}
+	if err := e.end(); err != nil {
+		return err
+	}
+	return r.release(v, false)
+}
+
+// Get copies n bytes from the global src to the local dst; the data is
+// available on return.
+func (r *Runtime) Get(src, dst armci.Addr, n int) error {
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	g, gr, disp, err := r.remote(src, n)
+	if err != nil {
+		return err
+	}
+	v, err := r.acquireLocal(dst, n)
+	if err != nil {
+		return err
+	}
+	e, err := r.beginEpoch(g, gr, classGet)
+	if err != nil {
+		return err
+	}
+	if err := e.get(v.buf(dst.VA, mpi.TypeContiguous(n)), disp, mpi.TypeContiguous(n)); err != nil {
+		return err
+	}
+	if err := e.end(); err != nil {
+		return err
+	}
+	return r.release(v, true)
+}
+
+// Acc applies dst += scale*src elementwise on float64. ARMCI-MPI
+// pre-scales into a temporary buffer (MPI accumulate has no scale
+// argument) and issues MPI_Accumulate with MPI_SUM.
+func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) error {
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("armcimpi: Acc size %d not a multiple of 8 (float64)", n)
+	}
+	g, gr, disp, err := r.remote(dst, n)
+	if err != nil {
+		return err
+	}
+	v, err := r.acquireLocal(src, n)
+	if err != nil {
+		return err
+	}
+	buf := v.buf(src.VA, mpi.TypeContiguous(n))
+	var scaled *fabric.Region
+	if scale != 1 {
+		scaled = r.R.AllocMem(n)
+		m := r.W.Mpi.M
+		m.CopyLocal(r.R.P, n)
+		m.Compute(r.R.P, float64(n/8))
+		vals := mpi.BytesToF64s(v.reg.Bytes(v.reg.VA+(src.VA-v.base), n))
+		out := make([]float64, len(vals))
+		for i, x := range vals {
+			out[i] = x * scale
+		}
+		copy(scaled.Data, mpi.F64sToBytes(out))
+		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(n)}
+	}
+	e, err := r.beginEpoch(g, gr, classAcc)
+	if err != nil {
+		return err
+	}
+	if err := e.acc(buf, disp, mpi.TypeContiguous(n)); err != nil {
+		return err
+	}
+	if err := e.end(); err != nil {
+		return err
+	}
+	if scaled != nil {
+		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
+			return err
+		}
+	}
+	return r.release(v, false)
+}
+
+// completedHandle is the handle for "nonblocking" operations: MPI-2
+// has no request-based RMA (SectionVIII.B), so ARMCI-MPI's nonblocking
+// operations complete before returning.
+type completedHandle struct{}
+
+func (completedHandle) Wait() {}
+
+// NbPut issues a put. Under MPI-2 there are no request-based RMA
+// operations (SectionVIII.B), so the call completes before returning;
+// under MPI-3 it issues an Rput whose remote completion is deferred to
+// Fence, enabling communication/computation overlap.
+func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
+	if !r.Opt.UseMPI3 {
+		if err := r.Put(src, dst, n); err != nil {
+			return nil, err
+		}
+		return completedHandle{}, nil
+	}
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return nil, err
+	}
+	g, gr, disp, err := r.remote(dst, n)
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.acquireLocal(src, n)
+	if err != nil {
+		return nil, err
+	}
+	win := g.wins[r.Rank()]
+	if err := r.ensureLockAll(win); err != nil {
+		return nil, err
+	}
+	req, err := win.RPut(v.buf(src.VA, mpi.TypeContiguous(n)), gr, disp, mpi.TypeContiguous(n))
+	if err != nil {
+		return nil, err
+	}
+	r.pending[win] = true
+	return nb3Handle{req: req}, nil
+}
+
+// NbGet issues a get; under MPI-2 it completes immediately, under
+// MPI-3 the handle's Wait blocks until the data has landed.
+func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
+	if !r.Opt.UseMPI3 {
+		if err := r.Get(src, dst, n); err != nil {
+			return nil, err
+		}
+		return completedHandle{}, nil
+	}
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return nil, err
+	}
+	g, gr, disp, err := r.remote(src, n)
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.acquireLocal(dst, n)
+	if err != nil {
+		return nil, err
+	}
+	win := g.wins[r.Rank()]
+	if err := r.ensureLockAll(win); err != nil {
+		return nil, err
+	}
+	req, err := win.RGet(v.buf(dst.VA, mpi.TypeContiguous(n)), gr, disp, mpi.TypeContiguous(n))
+	if err != nil {
+		return nil, err
+	}
+	return nb3Handle{req: req}, nil
+}
+
+// NbPutS issues a strided put; completes immediately under MPI-2.
+func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
+	if err := r.PutS(s); err != nil {
+		return nil, err
+	}
+	return completedHandle{}, nil
+}
+
+// NbGetS issues a strided get; completes immediately under MPI-2.
+func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
+	if err := r.GetS(s); err != nil {
+		return nil, err
+	}
+	return completedHandle{}, nil
+}
+
+// Fence ensures remote completion of prior operations to proc. Under
+// MPI-2 it is a no-op — every operation completes within its own epoch
+// (SectionV.F). Under MPI-3 it flushes windows with pending
+// request-based operations.
+func (r *Runtime) Fence(proc int) { r.AllFence() }
+
+// AllFence fences every target.
+func (r *Runtime) AllFence() {
+	if !r.Opt.UseMPI3 || len(r.pending) == 0 {
+		return
+	}
+	for win := range r.pending {
+		if err := win.FlushAll(); err != nil {
+			panic(fmt.Sprintf("armcimpi: fence flush failed: %v", err))
+		}
+	}
+	r.pending = map[*mpi.Win]bool{}
+}
+
+// Barrier synchronizes all processes (communication is already fenced).
+func (r *Runtime) Barrier() { r.R.CommWorld().Barrier() }

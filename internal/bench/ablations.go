@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Table2 writes the paper's Table II platform characteristics.
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "# Table II — experimental platforms and system characteristics")
+	fmt.Fprintf(w, "%-28s %6s  %-6s %-6s %-15s %s\n",
+		"System", "Nodes", "Cores", "Mem", "Interconnect", "MPI Version")
+	for _, p := range platform.All() {
+		fmt.Fprintln(w, p.TableII())
+	}
+	fmt.Fprintln(w)
+}
+
+// AblationRmw compares read-modify-write latency under the MPI-2
+// mutex emulation (SectionV.D) against native NIC atomics and the
+// MPI-3 fetch-and-op extension (SectionVIII.B). Returns mean latency
+// in microseconds per variant.
+func AblationRmw(plat *platform.Platform, iters int) (map[string]float64, error) {
+	out := map[string]float64{}
+	variants := []struct {
+		name string
+		impl harness.Impl
+		mpi3 bool
+	}{
+		{"native-atomic", harness.ImplNative, false},
+		{"mpi2-mutex", harness.ImplARMCIMPI, false},
+		{"mpi3-fetchop", harness.ImplARMCIMPI, true},
+	}
+	for _, v := range variants {
+		opt := armcimpi.DefaultOptions()
+		opt.UseMPI3 = v.mpi3
+		var lat sim.Time
+		var runErr error
+		_, err := harness.Run(plat, 2*plat.CoresPerNode, v.impl, opt, func(rt armci.Runtime) {
+			addrs, err := rt.Malloc(8)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if rt.Rank() == plat.CoresPerNode { // remote rank hammers rank 0
+				start := rt.Proc().Now()
+				for i := 0; i < iters; i++ {
+					if _, err := rt.Rmw(armci.FetchAndAdd, addrs[0], 1); err != nil {
+						runErr = err
+						return
+					}
+				}
+				lat = (rt.Proc().Now() - start) / sim.Time(iters)
+			}
+			rt.Barrier()
+			if err := rt.Free(addrs[rt.Rank()]); err != nil {
+				runErr = err
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[v.name] = lat.Micros()
+	}
+	return out, nil
+}
+
+// AblationAccessModes measures the SectionVIII.A access-mode
+// extension: n processes repeatedly get from one target under the
+// default conflicting mode (exclusive epochs, serialized) versus the
+// read-only hint (shared epochs, concurrent). Returns total phase time
+// in microseconds per mode.
+func AblationAccessModes(plat *platform.Platform, readers, iters, size int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, mode := range []armci.AccessMode{armci.ModeConflicting, armci.ModeReadOnly} {
+		mode := mode
+		var phase sim.Time
+		var runErr error
+		nranks := readers + 1
+		j, err := harness.NewJob(plat, nranks, harness.ImplARMCIMPI, armcimpi.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		err = j.Eng.Run(nranks, func(p *sim.Proc) {
+			rt := j.Runtime(p)
+			addrs, err := rt.Malloc(size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if mode != armci.ModeConflicting {
+				if err := rt.SetAccessMode(mode, addrs[0]); err != nil {
+					runErr = err
+					return
+				}
+			}
+			rt.Barrier()
+			start := rt.Proc().Now()
+			if rt.Rank() > 0 {
+				local := rt.MallocLocal(size)
+				for i := 0; i < iters; i++ {
+					if err := rt.Get(addrs[0], local, size); err != nil {
+						runErr = err
+						return
+					}
+				}
+			}
+			rt.Barrier()
+			if rt.Rank() == 0 {
+				phase = rt.Proc().Now() - start
+			}
+			if err := rt.Free(addrs[rt.Rank()]); err != nil {
+				runErr = err
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[mode.String()] = phase.Micros()
+	}
+	return out, nil
+}
+
+// AblationStridedMethods reports strided put bandwidth (GB/s) per
+// ARMCI-MPI method at a fixed shape, the per-method summary behind
+// Figure 4's method choice (SectionVII.D picked batched on BG/P and
+// direct elsewhere).
+func AblationStridedMethods(plat *platform.Platform, segBytes, nsegs, iters int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, v := range fig4Variants() {
+		s, err := StridedBandwidth(plat, v, OpPut, segBytes, []int{nsegs}, iters)
+		if err != nil {
+			return nil, err
+		}
+		out[v.label] = s.Last()
+	}
+	return out, nil
+}
+
+// AblationBatchSize sweeps the batched method's B parameter
+// (SectionVI.A: "issues up to B operations per epoch ... default 0,
+// or unlimited"), showing the epoch-amortization tradeoff.
+func AblationBatchSize(plat *platform.Platform, segBytes, nsegs int, batches []int, iters int) (map[int]float64, error) {
+	out := map[int]float64{}
+	for _, b := range batches {
+		v := stridedVariant{label: fmt.Sprintf("B=%d", b), impl: harness.ImplARMCIMPI, method: armcimpi.MethodBatched}
+		opt := armcimpi.DefaultOptions()
+		opt.StridedMethod = armcimpi.MethodBatched
+		opt.BatchSize = b
+		series, err := stridedWithOptions(plat, opt, v.label, OpPut, segBytes, []int{nsegs}, iters)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = series.Last()
+	}
+	return out, nil
+}
+
+// stridedWithOptions is StridedBandwidth with explicit runtime options.
+func stridedWithOptions(plat *platform.Platform, opt armcimpi.Options, label string, op ContigOp, segBytes int, counts []int, iters int) (Series, error) {
+	series := Series{Label: label}
+	maxSegs := counts[len(counts)-1]
+	remoteStride := 2 * segBytes
+	winBytes := maxSegs*remoteStride + segBytes
+	nranks := 2 * plat.CoresPerNode
+	target := plat.CoresPerNode
+	var bwErr error
+	_, err := harness.Run(plat, nranks, harness.ImplARMCIMPI, opt, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(winBytes)
+		if err != nil {
+			bwErr = err
+			return
+		}
+		local := rt.MallocLocal(maxSegs * segBytes)
+		if rt.Rank() == 0 {
+			for _, nseg := range counts {
+				s := &armci.Strided{
+					Src: local, Dst: addrs[target],
+					SrcStride: []int{segBytes}, DstStride: []int{remoteStride},
+					Count: []int{segBytes, nseg},
+				}
+				start := rt.Proc().Now()
+				for i := 0; i < iters; i++ {
+					if err := doStrided(rt, op, s); err != nil {
+						bwErr = err
+						return
+					}
+				}
+				elapsed := rt.Proc().Now() - start
+				series.X = append(series.X, float64(nseg))
+				series.Y = append(series.Y, bandwidth(int64(segBytes)*int64(nseg)*int64(iters), elapsed))
+			}
+		}
+		rt.Barrier()
+		if err := rt.Free(addrs[rt.Rank()]); err != nil {
+			bwErr = err
+		}
+	})
+	if err != nil {
+		return series, err
+	}
+	return series, bwErr
+}
+
+// AblationAsyncProgress quantifies SectionV.F's asynchronous-progress
+// requirement: the same contiguous put/get loop with the MPI library's
+// async progress enabled (the standard's behaviour, which ARMCI-MPI
+// relies on) versus a library that only makes progress when the target
+// enters MPI, modeled as a mean service delay. Returns mean op latency
+// in microseconds.
+func AblationAsyncProgress(plat *platform.Platform, delayNs float64, iters int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, mode := range []string{"async-progress", "no-async-progress"} {
+		tuned := *plat // copy; adjust the MPI tuning
+		if mode == "no-async-progress" {
+			mpiTun := tuned.MPI
+			mpiTun.NoProgressDelayNs = delayNs
+			tuned.MPI = mpiTun
+		}
+		var lat sim.Time
+		var runErr error
+		_, err := harness.Run(&tuned, 2*plat.CoresPerNode, harness.ImplARMCIMPI,
+			armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+				addrs, err := rt.Malloc(4096)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if rt.Rank() == plat.CoresPerNode {
+					local := rt.MallocLocal(4096)
+					start := rt.Proc().Now()
+					for i := 0; i < iters; i++ {
+						if err := rt.Put(local, addrs[0], 1024); err != nil {
+							runErr = err
+							return
+						}
+					}
+					lat = (rt.Proc().Now() - start) / sim.Time(iters)
+				}
+				rt.Barrier()
+				if err := rt.Free(addrs[rt.Rank()]); err != nil {
+					runErr = err
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[mode] = lat.Micros()
+	}
+	return out, nil
+}
+
+// AblationMPI3Backend compares the paper's MPI-2 design against the
+// SectionVIII.B MPI-3 backend (lock-all/flush epochless mode, request
+// operations, native atomics) on the CCSD proxy — the forward-looking
+// experiment the paper's gap analysis motivates. Returns virtual phase
+// milliseconds.
+func AblationMPI3Backend(plat *platform.Platform, cores int) (map[string]float64, error) {
+	out := map[string]float64{}
+	p := nwchemParams()
+	for _, mode := range []string{"mpi2-epochs", "mpi3-lockall"} {
+		opt := armcimpi.DefaultOptions()
+		opt.UseMPI3 = mode == "mpi3-lockall"
+		j, err := harness.NewJob(plat, cores, harness.ImplARMCIMPI, opt)
+		if err != nil {
+			return nil, err
+		}
+		var phase sim.Time
+		var runErr error
+		err = j.Eng.Run(cores, func(pr *sim.Proc) {
+			env := newGAEnv(j, pr)
+			sys, err := nwchemSetup(env, j, p)
+			if err != nil {
+				runErr = err
+				return
+			}
+			res, err := sys.CCSD()
+			if err != nil {
+				runErr = err
+				return
+			}
+			if env.Me() == 0 {
+				phase = res.Elapsed
+			}
+			if err := sys.Teardown(); err != nil {
+				runErr = err
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[mode] = phase.Seconds() * 1e3
+	}
+	return out, nil
+}
+
+// AblationDataServer reproduces the paper's Related Work comparison
+// (SectionIX): ARMCI over a per-node two-sided data server versus
+// ARMCI-MPI's one-sided RMA versus native. Reports (a) contiguous get
+// bandwidth with several concurrent origins hammering one node — the
+// data-server bottleneck — and (b) the CCSD proxy phase time including
+// the consumed core. Values: GB/s and virtual ms respectively.
+func AblationDataServer(plat *platform.Platform, origins, iters, size int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, impl := range []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI, harness.ImplDataServer} {
+		nranks := origins*plat.CoresPerNode + 1
+		if nranks > plat.MaxRanks() {
+			nranks = plat.MaxRanks()
+		}
+		var total sim.Time
+		var moved int64
+		var runErr error
+		_, err := harness.Run(plat, nranks, impl, armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+			addrs, err := rt.Malloc(size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			// One origin per remote node gets from rank 0 concurrently.
+			isOrigin := rt.Rank() != 0 && rt.Rank()%plat.CoresPerNode == 0
+			local := rt.MallocLocal(size)
+			if isOrigin {
+				// Warm up (registration caches) before timing.
+				if err := rt.Get(addrs[0], local, size); err != nil {
+					runErr = err
+					return
+				}
+			}
+			rt.Barrier()
+			start := rt.Proc().Now()
+			if isOrigin {
+				for i := 0; i < iters; i++ {
+					if err := rt.Get(addrs[0], local, size); err != nil {
+						runErr = err
+						return
+					}
+				}
+				moved += int64(size) * int64(iters)
+			}
+			rt.Barrier()
+			if rt.Rank() == 0 {
+				total = rt.Proc().Now() - start
+			}
+			if err := rt.Free(addrs[rt.Rank()]); err != nil {
+				runErr = err
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[string(impl)] = bandwidth(moved, total)
+	}
+	// CCSD phase times.
+	p := nwchemParams()
+	for _, impl := range []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI, harness.ImplDataServer} {
+		tm, err := NWChemPhase(plat, impl, 16, p, false)
+		if err != nil {
+			return nil, err
+		}
+		out["ccsd-"+string(impl)] = tm.Seconds() * 1e3
+	}
+	return out, nil
+}

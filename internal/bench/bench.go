@@ -1,0 +1,142 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (SectionVII): contiguous bandwidth (Figure 3), strided
+// bandwidth across transfer methods (Figure 4), the interoperability /
+// registration study (Figure 5), NWChem CCSD(T) scaling (Figure 6),
+// the platform table (Table II), and the ablations DESIGN.md calls out.
+//
+// All measurements are in deterministic virtual time, so results are
+// exactly reproducible; absolute numbers are properties of the
+// calibrated platform models, and the claims to compare against the
+// paper are the shapes: orderings, crossovers, and rough ratios.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Series is one labelled curve: y(x) samples in ascending x.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a set of curves sharing an axis.
+type Figure struct {
+	Name   string // e.g. "fig3-bgp-get"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a sample to the named series, creating it on first use.
+func (f *Figure) Add(label string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the series with the given label, or nil.
+func (f *Figure) Get(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Print writes the figure as aligned gnuplot-style columns: one x
+// column followed by one column per series.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(w, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	// Collect the union of x values.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	xlist := make([]float64, 0, len(xs))
+	for x := range xs {
+		xlist = append(xlist, x)
+	}
+	sort.Float64s(xlist)
+	// Header.
+	fmt.Fprintf(w, "%-12s", "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %-16s", strings.ReplaceAll(s.Label, " ", "_"))
+	}
+	fmt.Fprintln(w)
+	for _, x := range xlist {
+		fmt.Fprintf(w, "%-12g", x)
+		for _, s := range f.Series {
+			v, ok := s.At(x)
+			if ok {
+				fmt.Fprintf(w, " %-16.6g", v)
+			} else {
+				fmt.Fprintf(w, " %-16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// At returns the y value at exactly x.
+func (s *Series) At(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final sample of the series.
+func (s *Series) Last() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Max returns the largest y value.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// bandwidth converts (bytes, duration) into GB/s.
+func bandwidth(bytes int64, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}
+
+// pow2s returns 2^lo .. 2^hi.
+func pow2s(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+// ContigOp names a contiguous operation under test.
+type ContigOp string
+
+const (
+	OpGet ContigOp = "get"
+	OpPut ContigOp = "put"
+	OpAcc ContigOp = "acc"
+)
+
+// Fig3Config tunes the contiguous-bandwidth sweep.
+type Fig3Config struct {
+	MinExp, MaxExp int // transfer sizes 2^MinExp .. 2^MaxExp bytes
+	Iters          int // measured repetitions per size
+}
+
+// DefaultFig3 mirrors the paper's 2^0..2^25 sweep at a size that runs
+// quickly; Quick shrinks it for tests.
+func DefaultFig3() Fig3Config { return Fig3Config{MinExp: 0, MaxExp: 25, Iters: 4} }
+
+// QuickFig3 is a reduced sweep for tests.
+func QuickFig3() Fig3Config { return Fig3Config{MinExp: 3, MaxExp: 18, Iters: 2} }
+
+// ContigBandwidth measures the bandwidth of one contiguous operation
+// between two processes on different nodes, as in Figure 3: origin
+// rank 0, target rank (one full node away).
+func ContigBandwidth(plat *platform.Platform, impl harness.Impl, op ContigOp, cfg Fig3Config) (Series, error) {
+	sizes := pow2s(cfg.MinExp, cfg.MaxExp)
+	maxSize := sizes[len(sizes)-1]
+	if op == OpAcc {
+		// Accumulate needs float64-aligned sizes.
+		var aligned []int
+		for _, s := range sizes {
+			if s >= 8 {
+				aligned = append(aligned, s)
+			}
+		}
+		sizes = aligned
+	}
+	series := Series{Label: fmt.Sprintf("%s (%s)", op, implShort(impl))}
+	nranks := 2 * plat.CoresPerNode // origin and target on different nodes
+	target := plat.CoresPerNode
+	var bwErr error
+	_, err := harness.Run(plat, nranks, impl, armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(maxSize)
+		if err != nil {
+			bwErr = err
+			return
+		}
+		local := rt.MallocLocal(maxSize)
+		if rt.Rank() == 0 {
+			for _, size := range sizes {
+				// Warm up (registration, allocation paths), then fence so
+				// pipelined native puts do not bleed into the timing.
+				if err := doContig(rt, op, local, addrs[target], size); err != nil {
+					bwErr = err
+					return
+				}
+				rt.Fence(target)
+				start := rt.Proc().Now()
+				for i := 0; i < cfg.Iters; i++ {
+					if err := doContig(rt, op, local, addrs[target], size); err != nil {
+						bwErr = err
+						return
+					}
+				}
+				rt.Fence(target)
+				elapsed := rt.Proc().Now() - start
+				series.X = append(series.X, float64(size))
+				series.Y = append(series.Y, bandwidth(int64(size)*int64(cfg.Iters), elapsed))
+			}
+		}
+		rt.Barrier()
+		if err := rt.Free(addrs[rt.Rank()]); err != nil {
+			bwErr = err
+		}
+	})
+	if err != nil {
+		return series, err
+	}
+	return series, bwErr
+}
+
+func doContig(rt armci.Runtime, op ContigOp, local, remote armci.Addr, size int) error {
+	switch op {
+	case OpGet:
+		return rt.Get(remote, local, size)
+	case OpPut:
+		return rt.Put(local, remote, size)
+	case OpAcc:
+		return rt.Acc(armci.AccDbl, 1.0, local, remote, size)
+	default:
+		return fmt.Errorf("bench: unknown op %q", op)
+	}
+}
+
+func implShort(impl harness.Impl) string {
+	if impl == harness.ImplNative {
+		return "Nat."
+	}
+	return "MPI"
+}
+
+// Fig3 regenerates one platform's panel of Figure 3: get/put/acc
+// bandwidth for native ARMCI and ARMCI-MPI.
+func Fig3(plat *platform.Platform, cfg Fig3Config) (*Figure, error) {
+	fig := &Figure{
+		Name:   "fig3-" + plat.Name,
+		Title:  fmt.Sprintf("Contiguous ARMCI bandwidth, %s", plat.System),
+		XLabel: "transfer size (bytes)",
+		YLabel: "bandwidth (GB/s)",
+	}
+	for _, impl := range []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI} {
+		for _, op := range []ContigOp{OpGet, OpPut, OpAcc} {
+			s, err := ContigBandwidth(plat, impl, op, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig3 %s/%s/%s: %w", plat.Name, impl, op, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}

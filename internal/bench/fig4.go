@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+// Fig4Config tunes the strided-bandwidth sweep.
+type Fig4Config struct {
+	SegSizes []int // contiguous segment sizes (paper: 16 and 1024 bytes)
+	MaxSegs  int   // segment counts 1..MaxSegs in powers of two
+	Iters    int
+}
+
+// DefaultFig4 mirrors the paper: 16 B and 1024 B segments, 1..1024
+// segments.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{SegSizes: []int{16, 1024}, MaxSegs: 1024, Iters: 3}
+}
+
+// QuickFig4 is a reduced sweep for tests.
+func QuickFig4() Fig4Config {
+	return Fig4Config{SegSizes: []int{16, 1024}, MaxSegs: 64, Iters: 2}
+}
+
+// stridedSeries names the method variants plotted in Figure 4.
+type stridedVariant struct {
+	label  string
+	impl   harness.Impl
+	method armcimpi.Method
+}
+
+func fig4Variants() []stridedVariant {
+	return []stridedVariant{
+		{"Native", harness.ImplNative, armcimpi.MethodDirect},
+		{"Direct", harness.ImplARMCIMPI, armcimpi.MethodDirect},
+		{"IOV-Direct", harness.ImplARMCIMPI, armcimpi.MethodIOVDirect},
+		{"IOV-Batched", harness.ImplARMCIMPI, armcimpi.MethodBatched},
+		{"IOV-Consrv", harness.ImplARMCIMPI, armcimpi.MethodConservative},
+	}
+}
+
+// StridedBandwidth measures one variant's strided bandwidth for a
+// fixed segment size over a range of segment counts. The transfer is a
+// 2-D strided patch: contiguous segments of segBytes, remote stride
+// 2x the segment (noncontiguous at the target), local buffer dense.
+func StridedBandwidth(plat *platform.Platform, v stridedVariant, op ContigOp, segBytes int, counts []int, iters int) (Series, error) {
+	opt := armcimpi.DefaultOptions()
+	opt.StridedMethod = v.method
+	series := Series{Label: v.label}
+	maxSegs := counts[len(counts)-1]
+	remoteStride := 2 * segBytes
+	winBytes := maxSegs*remoteStride + segBytes
+	nranks := 2 * plat.CoresPerNode
+	target := plat.CoresPerNode
+	var bwErr error
+	_, err := harness.Run(plat, nranks, v.impl, opt, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(winBytes)
+		if err != nil {
+			bwErr = err
+			return
+		}
+		local := rt.MallocLocal(maxSegs * segBytes)
+		if rt.Rank() == 0 {
+			for _, nseg := range counts {
+				s := &armci.Strided{
+					Src:       local,
+					Dst:       addrs[target],
+					SrcStride: []int{segBytes},
+					DstStride: []int{remoteStride},
+					Count:     []int{segBytes, nseg},
+				}
+				if op == OpGet {
+					s.Src, s.Dst = addrs[target], local
+					s.SrcStride, s.DstStride = []int{remoteStride}, []int{segBytes}
+				}
+				if err := doStrided(rt, op, s); err != nil {
+					bwErr = err
+					return
+				}
+				rt.Fence(target)
+				start := rt.Proc().Now()
+				for i := 0; i < iters; i++ {
+					if err := doStrided(rt, op, s); err != nil {
+						bwErr = err
+						return
+					}
+				}
+				rt.Fence(target)
+				elapsed := rt.Proc().Now() - start
+				payload := int64(segBytes) * int64(nseg) * int64(iters)
+				series.X = append(series.X, float64(nseg))
+				series.Y = append(series.Y, bandwidth(payload, elapsed))
+			}
+		}
+		rt.Barrier()
+		if err := rt.Free(addrs[rt.Rank()]); err != nil {
+			bwErr = err
+		}
+	})
+	if err != nil {
+		return series, err
+	}
+	return series, bwErr
+}
+
+func doStrided(rt armci.Runtime, op ContigOp, s *armci.Strided) error {
+	switch op {
+	case OpGet:
+		return rt.GetS(s)
+	case OpPut:
+		return rt.PutS(s)
+	case OpAcc:
+		return rt.AccS(armci.AccDbl, 1.0, s)
+	default:
+		return fmt.Errorf("bench: unknown op %q", op)
+	}
+}
+
+// Fig4 regenerates one platform/segment-size/operation panel of
+// Figure 4: bandwidth vs segment count for every transfer method.
+func Fig4(plat *platform.Platform, op ContigOp, segBytes int, cfg Fig4Config) (*Figure, error) {
+	var counts []int
+	for c := 1; c <= cfg.MaxSegs; c *= 2 {
+		counts = append(counts, c)
+	}
+	fig := &Figure{
+		Name:   fmt.Sprintf("fig4-%s-%s-%dB", plat.Name, op, segBytes),
+		Title:  fmt.Sprintf("Strided %s bandwidth, %s, %d-byte segments", op, plat.System, segBytes),
+		XLabel: "number of contiguous segments",
+		YLabel: "bandwidth (GB/s)",
+	}
+	for _, v := range fig4Variants() {
+		s, err := StridedBandwidth(plat, v, op, segBytes, counts, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig4 %s/%s/%s: %w", plat.Name, v.label, op, err)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/armcimpi"
+	"repro/internal/ga"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/nwchem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Fig6Config tunes the NWChem scaling study. The paper's runs used up
+// to 12288 physical cores; the simulation sweeps a scaled process
+// range with a fixed (strong-scaling) problem whose task count and
+// message sizes keep the communication-to-computation ratio in the
+// regime that differentiates the runtimes.
+type Fig6Config struct {
+	Cores  []int         // simulated process counts
+	Params nwchem.Params // fixed problem per platform sweep
+	// FlopMult overrides Params.FlopMult per platform: the real
+	// problem-per-core ratios differed across the paper's machines
+	// (each platform ran at its own scale), which sets the
+	// communication fraction that determines the CCSD gap.
+	FlopMult map[string]float64
+}
+
+// ParamsFor returns the problem parameters for one platform.
+func (c *Fig6Config) ParamsFor(plat *platform.Platform) nwchem.Params {
+	p := c.Params
+	if fm, ok := c.FlopMult[plat.Name]; ok {
+		p.FlopMult = fm
+	}
+	return p
+}
+
+// DefaultFig6 uses a w5-shaped problem scaled to simulation size.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{
+		Cores:  []int{8, 16, 32, 64, 128},
+		Params: nwchem.Params{NO: 6, NV: 48, Blk: 72, Iter: 1, Chunk: 4, FlopMult: 40},
+		FlopMult: map[string]float64{
+			platform.BlueGeneP: 120, // paper: "comparable ... maintains good scaling"
+			platform.CrayXT5:   240, // paper: "only 15%-20% less for ARMCI-MPI"
+		},
+	}
+}
+
+// QuickFig6 is a reduced sweep for tests.
+func QuickFig6() Fig6Config {
+	return Fig6Config{
+		Cores:  []int{4, 8, 16},
+		Params: nwchem.Params{NO: 4, NV: 24, Blk: 36, Iter: 1, Chunk: 4, FlopMult: 40},
+		FlopMult: map[string]float64{
+			platform.BlueGeneP: 120,
+			platform.CrayXT5:   240,
+		},
+	}
+}
+
+// NWChemPhase runs the CCSD or (T) phase of the proxy at one scale and
+// returns the phase's virtual time (max over ranks).
+func NWChemPhase(plat *platform.Platform, impl harness.Impl, cores int, p nwchem.Params, triples bool) (sim.Time, error) {
+	j, err := harness.NewJob(plat, cores, impl, armcimpi.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	var phase sim.Time
+	var runErr error
+	err = j.Eng.Run(cores, func(pr *sim.Proc) {
+		rt := j.Runtime(pr)
+		env := ga.NewEnv(rt, j.MpiWorld.Rank(pr))
+		sys, err := nwchem.Setup(env, j.M, p)
+		if err != nil {
+			runErr = err
+			return
+		}
+		var res nwchem.Result
+		if triples {
+			res, err = sys.Triples()
+		} else {
+			res, err = sys.CCSD()
+		}
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Phase time = max over ranks of the measured elapsed time.
+		mx := env.GopF64(mpi.OpMax, []float64{res.Elapsed.Seconds()})
+		if rt.Rank() == 0 {
+			phase = sim.FromSeconds(mx[0])
+		}
+		if err := sys.Teardown(); err != nil {
+			runErr = err
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return phase, runErr
+}
+
+// Fig6 regenerates one platform's panel of Figure 6: CCSD (and
+// optionally (T)) time versus process count for both runtimes. Times
+// are reported in virtual minutes, as in the paper's axes.
+func Fig6(plat *platform.Platform, cfg Fig6Config, withTriples bool) (*Figure, error) {
+	fig := &Figure{
+		Name:   "fig6-" + plat.Name,
+		Title:  "NWChem CCSD(T) proxy scaling, " + plat.System,
+		XLabel: "number of processes",
+		YLabel: "phase time (virtual minutes)",
+	}
+	for _, impl := range []harness.Impl{harness.ImplARMCIMPI, harness.ImplNative} {
+		name := "ARMCI-MPI"
+		if impl == harness.ImplNative {
+			name = "ARMCI-Native"
+		}
+		for _, cores := range cfg.Cores {
+			if cores > plat.MaxRanks() {
+				continue
+			}
+			t, err := NWChemPhase(plat, impl, cores, cfg.ParamsFor(plat), false)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig6 %s/%s ccsd @%d: %w", plat.Name, impl, cores, err)
+			}
+			fig.Add(name+" CCSD", float64(cores), t.Seconds()/60)
+			if withTriples {
+				tt, err := NWChemPhase(plat, impl, cores, cfg.ParamsFor(plat), true)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fig6 %s/%s (T) @%d: %w", plat.Name, impl, cores, err)
+				}
+				fig.Add(name+" (T)", float64(cores), tt.Seconds()/60)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// nwchemParams is the proxy problem used by the MPI-3 backend ablation.
+func nwchemParams() nwchem.Params {
+	return nwchem.Params{NO: 4, NV: 24, Blk: 36, Iter: 1, Chunk: 4, FlopMult: 40}
+}
+
+// newGAEnv builds the per-rank GA environment for a job.
+func newGAEnv(j *harness.Job, pr *sim.Proc) *ga.Env {
+	return ga.NewEnv(j.Runtime(pr), j.MpiWorld.Rank(pr))
+}
+
+// nwchemSetup creates the proxy system on a job's machine.
+func nwchemSetup(env *ga.Env, j *harness.Job, p nwchem.Params) (*nwchem.System, error) {
+	return nwchem.Setup(env, j.M, p)
+}

@@ -1,0 +1,160 @@
+// Package conflicttree implements the paper's O(N log N) IOV overlap
+// detector (SectionVI.B): a self-balancing (AVL) binary tree of
+// disjoint address ranges with a merged check-and-insert operation.
+// Inserting a range that overlaps an existing one fails and leaves the
+// tree unchanged, signalling that the conservative transfer method
+// must be used.
+//
+// The structure differs from an interval tree (CLRS) in that it only
+// ever stores non-overlapping ranges and answers a single yes/no
+// conflict question, which is all the IOV checker needs.
+package conflicttree
+
+// Tree is a set of disjoint half-open byte ranges [lo, hi).
+// The zero value is an empty tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	lo, hi      int64
+	left, right *node
+	height      int
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node) update() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func (n *node) balance() int { return height(n.left) - height(n.right) }
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func rebalance(n *node) *node {
+	n.update()
+	switch b := n.balance(); {
+	case b > 1:
+		if n.left.balance() < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		if n.right.balance() > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Size returns the number of stored ranges.
+func (t *Tree) Size() int { return t.size }
+
+// Insert attempts to add [lo, hi). It returns false — leaving the tree
+// unchanged — if the range is empty, inverted, or overlaps any stored
+// range; the check and the insertion are a single traversal.
+func (t *Tree) Insert(lo, hi int64) bool {
+	if lo >= hi {
+		return false
+	}
+	root, ok := insert(t.root, lo, hi)
+	if !ok {
+		return false
+	}
+	t.root = root
+	t.size++
+	return true
+}
+
+func insert(n *node, lo, hi int64) (*node, bool) {
+	if n == nil {
+		return &node{lo: lo, hi: hi, height: 1}, true
+	}
+	switch {
+	case hi <= n.lo:
+		child, ok := insert(n.left, lo, hi)
+		if !ok {
+			return nil, false
+		}
+		n.left = child
+	case lo >= n.hi:
+		child, ok := insert(n.right, lo, hi)
+		if !ok {
+			return nil, false
+		}
+		n.right = child
+	default:
+		// lo or hi falls inside [n.lo, n.hi), or the new range encloses
+		// it: a conflict must be reported here — because the tree is
+		// ordered on disjoint ranges, an overlapping stored range cannot
+		// hide in a subtree we would not visit.
+		return nil, false
+	}
+	return rebalance(n), true
+}
+
+// Conflicts reports whether [lo, hi) overlaps any stored range, without
+// inserting. Empty ranges never conflict.
+func (t *Tree) Conflicts(lo, hi int64) bool {
+	if lo >= hi {
+		return false
+	}
+	n := t.root
+	for n != nil {
+		switch {
+		case hi <= n.lo:
+			n = n.left
+		case lo >= n.hi:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Height returns the tree height (for balance tests).
+func (t *Tree) Height() int { return height(t.root) }
+
+// Walk visits stored ranges in ascending order.
+func (t *Tree) Walk(fn func(lo, hi int64)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.lo, n.hi)
+		rec(n.right)
+	}
+	rec(t.root)
+}

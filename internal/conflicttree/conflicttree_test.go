@@ -1,0 +1,181 @@
+package conflicttree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertDisjoint(t *testing.T) {
+	var tr Tree
+	for _, r := range [][2]int64{{0, 10}, {10, 20}, {30, 40}, {20, 30}} {
+		if !tr.Insert(r[0], r[1]) {
+			t.Fatalf("disjoint insert [%d,%d) rejected", r[0], r[1])
+		}
+	}
+	if tr.Size() != 4 {
+		t.Errorf("size = %d", tr.Size())
+	}
+}
+
+func TestInsertOverlapRejected(t *testing.T) {
+	var tr Tree
+	tr.Insert(10, 20)
+	cases := [][2]int64{
+		{10, 20},           // identical
+		{5, 11},            // overlaps low end
+		{19, 25},           // overlaps high end
+		{12, 18},           // contained
+		{5, 25},            // encloses
+		{0, math.MaxInt64}, // encloses everything
+	}
+	for _, c := range cases {
+		if tr.Insert(c[0], c[1]) {
+			t.Errorf("overlapping insert [%d,%d) accepted", c[0], c[1])
+		}
+	}
+	if tr.Size() != 1 {
+		t.Errorf("failed inserts changed the tree: size = %d", tr.Size())
+	}
+}
+
+func TestEmptyAndInvertedRangesRejected(t *testing.T) {
+	var tr Tree
+	if tr.Insert(5, 5) || tr.Insert(7, 3) {
+		t.Error("degenerate ranges accepted")
+	}
+}
+
+func TestAdjacentRangesAllowed(t *testing.T) {
+	var tr Tree
+	if !tr.Insert(0, 8) || !tr.Insert(8, 16) {
+		t.Error("touching half-open ranges should not conflict")
+	}
+}
+
+func TestConflictsQuery(t *testing.T) {
+	var tr Tree
+	tr.Insert(100, 200)
+	tr.Insert(300, 400)
+	if tr.Conflicts(200, 300) {
+		t.Error("gap reported as conflict")
+	}
+	if !tr.Conflicts(150, 160) || !tr.Conflicts(399, 500) {
+		t.Error("overlap missed")
+	}
+	if tr.Conflicts(50, 50) {
+		t.Error("empty range conflicts")
+	}
+}
+
+func TestWalkInOrder(t *testing.T) {
+	var tr Tree
+	for _, lo := range []int64{50, 10, 90, 30, 70} {
+		tr.Insert(lo, lo+5)
+	}
+	var prev int64 = -1
+	tr.Walk(func(lo, hi int64) {
+		if lo <= prev {
+			t.Errorf("walk out of order at %d", lo)
+		}
+		prev = lo
+	})
+}
+
+func TestAVLBalanceUnderSequentialInsert(t *testing.T) {
+	var tr Tree
+	n := 1 << 12
+	for i := 0; i < n; i++ {
+		if !tr.Insert(int64(i*10), int64(i*10+5)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	// A balanced tree of 4096 nodes has height <= 1.44*log2(n) ~ 18.
+	if h := tr.Height(); h > 20 {
+		t.Errorf("height = %d after sequential inserts; AVL balancing broken", h)
+	}
+}
+
+func TestPropertyMatchesNaiveChecker(t *testing.T) {
+	// Property: the tree accepts exactly the ranges a naive O(N^2)
+	// checker would accept, processed in the same order.
+	type rg struct{ lo, hi int64 }
+	check := func(seed int64, count uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := int(count%60) + 1
+		var accepted []rg
+		var tr Tree
+		for i := 0; i < n; i++ {
+			lo := int64(rnd.Intn(500))
+			hi := lo + int64(rnd.Intn(30)) + 1
+			naiveOK := true
+			for _, a := range accepted {
+				if lo < a.hi && a.lo < hi {
+					naiveOK = false
+					break
+				}
+			}
+			treeOK := tr.Insert(lo, hi)
+			if naiveOK != treeOK {
+				return false
+			}
+			if naiveOK {
+				accepted = append(accepted, rg{lo, hi})
+			}
+		}
+		return tr.Size() == len(accepted)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHeightLogarithmic(t *testing.T) {
+	check := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		var tr Tree
+		for i := 0; i < 1000; i++ {
+			lo := int64(rnd.Intn(1 << 20))
+			tr.Insert(lo, lo+1)
+		}
+		if tr.Size() < 10 {
+			return true
+		}
+		maxH := int(1.45*math.Log2(float64(tr.Size()))) + 2
+		return tr.Height() <= maxH
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTreeInsertDisjoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var tr Tree
+		for j := int64(0); j < 1024; j++ {
+			tr.Insert(j*16, j*16+16)
+		}
+	}
+}
+
+func BenchmarkNaiveInsertDisjoint(b *testing.B) {
+	// The O(N^2) scan the paper's tree replaces.
+	type rg struct{ lo, hi int64 }
+	for i := 0; i < b.N; i++ {
+		var acc []rg
+		for j := int64(0); j < 1024; j++ {
+			lo, hi := j*16, j*16+16
+			ok := true
+			for _, a := range acc {
+				if lo < a.hi && a.lo < hi {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				acc = append(acc, rg{lo, hi})
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package core is the front door to the paper's primary contribution:
+// ARMCI-MPI, the implementation of the ARMCI one-sided runtime on MPI
+// one-sided communication (internal/armcimpi), together with the two
+// handles needed to use it — the ARMCI API surface (internal/armci) and
+// the job harness (internal/harness) that assembles the simulated
+// platform stack of Figure 1.
+//
+// The aliases below define the supported public API; the substrate
+// packages (sim, fabric, mpi, native, ga, nwchem) are implementation
+// detail that examples and benchmarks may also use directly.
+package core
+
+import (
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+)
+
+// Runtime is the ARMCI interface both implementations satisfy; GA-level
+// code is oblivious to which one is underneath.
+type Runtime = armci.Runtime
+
+// Addr is an ARMCI global address <process id, address>.
+type Addr = armci.Addr
+
+// Strided is the Table I strided-transfer descriptor.
+type Strided = armci.Strided
+
+// GIOV is the generalized I/O vector descriptor (armci_giov_t).
+type GIOV = armci.GIOV
+
+// Options tunes the ARMCI-MPI runtime (noncontiguous methods, batch
+// size, MPI-3 mode, staging).
+type Options = armcimpi.Options
+
+// Method selects a noncontiguous transfer strategy (SectionVI).
+type Method = armcimpi.Method
+
+// Noncontiguous transfer strategies.
+const (
+	MethodConservative = armcimpi.MethodConservative
+	MethodBatched      = armcimpi.MethodBatched
+	MethodIOVDirect    = armcimpi.MethodIOVDirect
+	MethodDirect       = armcimpi.MethodDirect
+	MethodAuto         = armcimpi.MethodAuto
+)
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options { return armcimpi.DefaultOptions() }
+
+// Impl selects the ARMCI implementation under the GA stack.
+type Impl = harness.Impl
+
+// The two stacks of Figure 1.
+const (
+	ImplNative   = harness.ImplNative
+	ImplARMCIMPI = harness.ImplARMCIMPI
+)
+
+// Job is a configured simulated run (engine + machine + runtimes).
+type Job = harness.Job
+
+// NewJob builds the simulation stack; Run executes a rank body on it.
+var (
+	NewJob = harness.NewJob
+	Run    = harness.Run
+)

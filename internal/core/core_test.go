@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestFacadeRunsBothStacks(t *testing.T) {
+	for _, impl := range []Impl{ImplNative, ImplARMCIMPI} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			ran := 0
+			_, err := Run(harness.TestPlatform(), 4, impl, DefaultOptions(), func(rt Runtime) {
+				addrs, err := rt.Malloc(64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rt.Rank() == 0 {
+					src := rt.MallocLocal(16)
+					if err := rt.Put(src, addrs[1], 16); err != nil {
+						t.Error(err)
+					}
+				}
+				rt.Barrier()
+				if err := rt.Free(addrs[rt.Rank()]); err != nil {
+					t.Error(err)
+				}
+				ran++
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ran != 4 {
+				t.Errorf("ran %d ranks", ran)
+			}
+		})
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	opt := DefaultOptions()
+	if opt.StridedMethod != MethodDirect || opt.IOVMethod != MethodAuto {
+		t.Errorf("defaults: %+v", opt)
+	}
+	for _, m := range []Method{MethodConservative, MethodBatched, MethodIOVDirect, MethodDirect, MethodAuto} {
+		if m.String() == "" {
+			t.Error("method without name")
+		}
+	}
+	if _, err := harness.ParseImpl(string(ImplNative)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeDescriptors(t *testing.T) {
+	s := &Strided{
+		Src: Addr{Rank: 0, VA: 0x10}, Dst: Addr{Rank: 1, VA: 0x10},
+		SrcStride: []int{16}, DstStride: []int{16}, Count: []int{8, 2},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := s.ToGIOV()
+	if g.Len() != 2 {
+		t.Errorf("giov len %d", g.Len())
+	}
+	var giov GIOV = g
+	if giov.TotalBytes() != 16 {
+		t.Errorf("total %d", giov.TotalBytes())
+	}
+}

@@ -1,0 +1,121 @@
+package dataserver_test
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// The full API contract is exercised by internal/harness (runtime
+// contract + cross-stack equivalence) and internal/ga; these tests
+// check the backend's structural properties from SectionIX.
+
+func runDS(t *testing.T, n int, body func(rt armci.Runtime)) *harness.Job {
+	t.Helper()
+	j, err := harness.NewJob(harness.TestPlatform(), n, harness.ImplDataServer, armcimpi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Eng.Run(n, func(p *sim.Proc) { body(j.Runtime(p)) }); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSerializesConcurrentRequests(t *testing.T) {
+	// Gets from several origins to one node must queue at its data
+	// server: the world's ServerWait counter records the queueing.
+	j := runDS(t, 6, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(1 << 20)
+		must(t, err)
+		if rt.Rank() >= 2 { // ranks 2..5 are on other nodes (2 cores/node)
+			local := rt.MallocLocal(1 << 20)
+			must(t, rt.Get(addrs[0], local, 1<<20))
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if j.DSWorld.ServerWait <= 0 {
+		t.Errorf("concurrent gets produced no server queueing (wait=%v)", j.DSWorld.ServerWait)
+	}
+	if j.DSWorld.Requests == 0 {
+		t.Error("no requests accounted")
+	}
+}
+
+func TestConsumedCoreSlowsCompute(t *testing.T) {
+	// The harness reduces per-rank flops by 1/cores when the data
+	// server backend is selected (the consumed core, SectionIX).
+	timeFor := func(impl harness.Impl) sim.Time {
+		j, err := harness.NewJob(harness.TestPlatform(), 2, impl, armcimpi.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Eng.Run(2, func(p *sim.Proc) {
+			j.M.Compute(p, 1e6)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return j.Eng.Stats().FinalTime
+	}
+	native := timeFor(harness.ImplNative)
+	ds := timeFor(harness.ImplDataServer)
+	// TestPlatform has 2 cores/node: the data server halves the rate.
+	if ds < native*3/2 {
+		t.Errorf("consumed core not modeled: native %v vs ds %v", native, ds)
+	}
+}
+
+func TestIntraNodeBypassesServer(t *testing.T) {
+	// Node-local accesses use shared memory directly: no requests.
+	j := runDS(t, 2, func(rt armci.Runtime) { // ranks 0,1 share a node
+		addrs, err := rt.Malloc(4096)
+		must(t, err)
+		if rt.Rank() == 0 {
+			local := rt.MallocLocal(4096)
+			must(t, rt.Put(local, addrs[1], 4096))
+			must(t, rt.Get(addrs[1], local, 4096))
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if j.DSWorld.Requests != 0 {
+		t.Errorf("intra-node transfers went through the server (%d requests)", j.DSWorld.Requests)
+	}
+}
+
+func TestRemoteRoundTripCorrectness(t *testing.T) {
+	runDS(t, 4, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(256)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(64)
+			b, _ := rt.LocalBytes(src, 64)
+			for i := range b {
+				b[i] = byte(200 - i)
+			}
+			must(t, rt.Put(src, addrs[3].Add(16), 64)) // rank 3 is on another node
+			rt.Fence(3)
+			dst := rt.MallocLocal(64)
+			must(t, rt.Get(addrs[3].Add(16), dst, 64))
+			db, _ := rt.LocalBytes(dst, 64)
+			for i := range db {
+				if db[i] != byte(200-i) {
+					t.Fatalf("byte %d = %d", i, db[i])
+				}
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}

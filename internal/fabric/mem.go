@@ -1,0 +1,192 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Addr is a global address in the simulated machine: a rank and a
+// virtual address within that rank's address space. This mirrors
+// ARMCI's <process id, address> global address form.
+type Addr struct {
+	Rank int
+	VA   int64
+}
+
+// Nil reports whether the address is the null address.
+func (a Addr) Nil() bool { return a.VA == 0 }
+
+// Add offsets the address by n bytes.
+func (a Addr) Add(n int) Addr { return Addr{Rank: a.Rank, VA: a.VA + int64(n)} }
+
+// Sub returns the byte distance a-b; both must be on the same rank.
+func (a Addr) Sub(b Addr) int {
+	if a.Rank != b.Rank {
+		panic("fabric: Addr.Sub across ranks")
+	}
+	return int(a.VA - b.VA)
+}
+
+func (a Addr) String() string { return fmt.Sprintf("<%d,0x%x>", a.Rank, a.VA) }
+
+// Domain identifies a registration domain — a runtime system that pins
+// memory with the (simulated) network device. The paper's Figure 5
+// hinges on ARMCI and MPI each maintaining separate registration state.
+type Domain int
+
+const (
+	DomainNone  Domain = iota // plain allocation, not pre-pinned anywhere
+	DomainARMCI               // allocated/pinned by the native ARMCI runtime
+	DomainMPI                 // allocated/pinned by the MPI runtime
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainARMCI:
+		return "ARMCI"
+	case DomainMPI:
+		return "MPI"
+	default:
+		return "none"
+	}
+}
+
+// Region is an allocated range of a rank's address space with backing
+// storage. Data is addressed relative to VA.
+type Region struct {
+	Rank int
+	VA   int64
+	Len  int
+	Data []byte
+
+	// AllocDomain is the runtime whose allocator produced the region
+	// (DomainNone for plain make()-style buffers).
+	AllocDomain Domain
+	// prepinned regions were registered at allocation time by their
+	// allocating domain (e.g. ARMCI's pre-pinned pools).
+	prepinned bool
+	// pinned tracks which domains have on-demand registered the region.
+	pinned map[Domain]bool
+}
+
+// Contains reports whether [va, va+n) falls inside the region.
+func (r *Region) Contains(va int64, n int) bool {
+	return va >= r.VA && va+int64(n) <= r.VA+int64(r.Len)
+}
+
+// Bytes returns the backing slice for [va, va+n).
+func (r *Region) Bytes(va int64, n int) []byte {
+	if !r.Contains(va, n) {
+		panic(fmt.Sprintf("fabric: access [0x%x,+%d) outside region [0x%x,+%d) on rank %d",
+			va, n, r.VA, r.Len, r.Rank))
+	}
+	off := va - r.VA
+	return r.Data[off : off+int64(n)]
+}
+
+// PinnedFor reports whether the region is usable for direct DMA by the
+// given domain without further registration.
+func (r *Region) PinnedFor(d Domain) bool {
+	if r.prepinned && r.AllocDomain == d {
+		return true
+	}
+	return r.pinned[d]
+}
+
+// AddrSpace is one rank's virtual address space: a bump allocator over
+// non-overlapping regions with binary-search lookup. VA 0 is reserved
+// as NULL.
+type AddrSpace struct {
+	rank    int
+	next    int64
+	regions []*Region // sorted by VA
+}
+
+const addrSpaceBase = 0x1000
+
+func newAddrSpace(rank int) *AddrSpace {
+	return &AddrSpace{rank: rank, next: addrSpaceBase}
+}
+
+// Alloc carves a new region of n bytes (n >= 0; a zero-length region
+// still receives a distinct address so frees can be matched).
+func (s *AddrSpace) Alloc(n int, d Domain, prepinned bool) *Region {
+	if n < 0 {
+		panic("fabric: Alloc with negative size")
+	}
+	r := &Region{
+		Rank:        s.rank,
+		VA:          s.next,
+		Len:         n,
+		Data:        make([]byte, n),
+		AllocDomain: d,
+		prepinned:   prepinned,
+		pinned:      map[Domain]bool{},
+	}
+	// Round the next base to a page-ish boundary to keep regions
+	// disjoint even for zero-length allocations.
+	adv := int64(n)
+	if adv < 64 {
+		adv = 64
+	}
+	s.next += adv + 64
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Free releases a region. The address must be a region base.
+func (s *AddrSpace) Free(va int64) error {
+	for i, r := range s.regions {
+		if r.VA == va {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("fabric: Free of unknown region 0x%x on rank %d", va, s.rank)
+}
+
+// Find returns the region containing [va, va+n), or nil.
+func (s *AddrSpace) Find(va int64, n int) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].VA+int64(s.regions[i].Len) > va
+	})
+	// Regions are appended in VA order (bump allocator) but Free can
+	// leave the slice still sorted, so binary search is valid.
+	if i < len(s.regions) && s.regions[i].Contains(va, n) {
+		return s.regions[i]
+	}
+	return nil
+}
+
+// Regions returns the rank's live regions in VA order.
+func (s *AddrSpace) Regions() []*Region { return s.regions }
+
+// Unpin evicts region r from domain d's registration cache, so the
+// next use pays the on-demand registration cost again (used by the
+// Figure 5 interoperability benchmark to measure the first-touch
+// path). Pre-pinned regions of d's own allocator cannot be evicted.
+func (m *Machine) Unpin(r *Region, d Domain) {
+	delete(r.pinned, d)
+}
+
+// PinCost returns the registration cost for domain d to use region r
+// for the byte range [va, va+n), and marks the pages registered. The
+// cost is zero when the region is pre-pinned for d or already
+// registered. Registration is modeled at region granularity (a region
+// is the unit ARMCI/MPI hand to the device), with cost proportional to
+// the page count of the whole region, as on-demand registration caches
+// do.
+func (m *Machine) PinCost(r *Region, d Domain) sim.Time {
+	if r.PinnedFor(d) {
+		return 0
+	}
+	pages := (r.Len + m.Par.PageSize - 1) / m.Par.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	r.pinned[d] = true
+	m.PagesPinned += int64(pages)
+	return sim.FromSeconds(float64(pages) * m.Par.PinPageNs / 1e9)
+}

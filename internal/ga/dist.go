@@ -1,0 +1,211 @@
+package ga
+
+import "sort"
+
+// Distribution describes the regular block decomposition of an array
+// over a process grid: dimension d is split into grid[d] nearly equal
+// blocks, and grid coordinates map to owner ranks in row-major order.
+type Distribution struct {
+	Dims []int   // array extents
+	Grid []int   // process grid extents (product <= nprocs)
+	cuts [][]int // per dim: block start indices, length grid[d]+1
+}
+
+// factorGrid chooses a process grid for nprocs processes over the
+// given array dims: prime factors of nprocs are assigned greedily to
+// the dimension with the largest per-block extent, never exceeding the
+// dimension's size. Any unassignable factor is dropped (those
+// processes own no data, which GA permits).
+func factorGrid(nprocs int, dims []int) []int {
+	grid := make([]int, len(dims))
+	for d := range grid {
+		grid[d] = 1
+	}
+	for _, f := range primeFactors(nprocs) {
+		// Pick the dimension where blocks are currently largest and can
+		// still be split by f.
+		best, bestLen := -1, 0
+		for d := range dims {
+			blockLen := dims[d] / grid[d]
+			if grid[d]*f <= dims[d] && blockLen >= bestLen {
+				best, bestLen = d, blockLen
+			}
+		}
+		if best < 0 {
+			continue // cannot use this factor; some ranks stay empty
+		}
+		grid[best] *= f
+	}
+	return grid
+}
+
+// primeFactors returns n's prime factorization, largest first.
+func primeFactors(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(fs)))
+	return fs
+}
+
+// newDistribution builds the block decomposition.
+func newDistribution(dims []int, nprocs int) *Distribution {
+	grid := factorGrid(nprocs, dims)
+	d := &Distribution{Dims: append([]int(nil), dims...), Grid: grid}
+	d.cuts = make([][]int, len(dims))
+	for dim := range dims {
+		g := grid[dim]
+		cuts := make([]int, g+1)
+		base, rem := dims[dim]/g, dims[dim]%g
+		pos := 0
+		for b := 0; b < g; b++ {
+			cuts[b] = pos
+			pos += base
+			if b < rem {
+				pos++
+			}
+		}
+		cuts[g] = dims[dim]
+		d.cuts[dim] = cuts
+	}
+	return d
+}
+
+// OwnerCount returns the number of processes that own data.
+func (d *Distribution) OwnerCount() int {
+	n := 1
+	for _, g := range d.Grid {
+		n *= g
+	}
+	return n
+}
+
+// coordsOf maps an owner index (0..OwnerCount-1) to grid coordinates
+// in row-major order.
+func (d *Distribution) coordsOf(owner int) []int {
+	nd := len(d.Grid)
+	c := make([]int, nd)
+	for dim := nd - 1; dim >= 0; dim-- {
+		c[dim] = owner % d.Grid[dim]
+		owner /= d.Grid[dim]
+	}
+	return c
+}
+
+// ownerOf maps grid coordinates to the owner index.
+func (d *Distribution) ownerOf(coords []int) int {
+	o := 0
+	for dim := 0; dim < len(d.Grid); dim++ {
+		o = o*d.Grid[dim] + coords[dim]
+	}
+	return o
+}
+
+// Block returns the inclusive [lo, hi] index range owned by owner in
+// each dimension; ok is false when the owner index is out of range or
+// the block is empty.
+func (d *Distribution) Block(owner int) (lo, hi []int, ok bool) {
+	if owner < 0 || owner >= d.OwnerCount() {
+		return nil, nil, false
+	}
+	c := d.coordsOf(owner)
+	lo = make([]int, len(d.Dims))
+	hi = make([]int, len(d.Dims))
+	for dim := range d.Dims {
+		lo[dim] = d.cuts[dim][c[dim]]
+		hi[dim] = d.cuts[dim][c[dim]+1] - 1
+		if hi[dim] < lo[dim] {
+			return nil, nil, false
+		}
+	}
+	return lo, hi, true
+}
+
+// BlockDims returns the extents of an owner's block.
+func (d *Distribution) BlockDims(owner int) []int {
+	lo, hi, ok := d.Block(owner)
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(lo))
+	for i := range lo {
+		out[i] = hi[i] - lo[i] + 1
+	}
+	return out
+}
+
+// OwnerOfIndex returns the owner index holding the given element.
+func (d *Distribution) OwnerOfIndex(idx []int) int {
+	coords := make([]int, len(d.Dims))
+	for dim := range d.Dims {
+		coords[dim] = sort.SearchInts(d.cuts[dim][1:], idx[dim]+1)
+	}
+	return d.ownerOf(coords)
+}
+
+// Patch is the intersection of a requested range with one owner's
+// block (inclusive bounds).
+type Patch struct {
+	Owner  int // owner index (not world rank)
+	Lo, Hi []int
+}
+
+// Intersect returns the per-owner patches covering [lo, hi], in owner
+// order — the fan-out of the paper's Figure 2.
+func (d *Distribution) Intersect(lo, hi []int) []Patch {
+	nd := len(d.Dims)
+	// Per dimension, find the grid coordinate range touched.
+	cLo := make([]int, nd)
+	cHi := make([]int, nd)
+	for dim := 0; dim < nd; dim++ {
+		cLo[dim] = sort.SearchInts(d.cuts[dim][1:], lo[dim]+1)
+		cHi[dim] = sort.SearchInts(d.cuts[dim][1:], hi[dim]+1)
+	}
+	var patches []Patch
+	coords := append([]int(nil), cLo...)
+	for {
+		owner := d.ownerOf(coords)
+		bLo, bHi, ok := d.Block(owner)
+		if ok {
+			p := Patch{Owner: owner, Lo: make([]int, nd), Hi: make([]int, nd)}
+			for dim := 0; dim < nd; dim++ {
+				p.Lo[dim] = max(lo[dim], bLo[dim])
+				p.Hi[dim] = min(hi[dim], bHi[dim])
+			}
+			patches = append(patches, p)
+		}
+		// Odometer over the coordinate ranges.
+		dim := nd - 1
+		for ; dim >= 0; dim-- {
+			coords[dim]++
+			if coords[dim] <= cHi[dim] {
+				break
+			}
+			coords[dim] = cLo[dim]
+		}
+		if dim < 0 {
+			return patches
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,328 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/armci"
+	"repro/internal/mpi"
+)
+
+// Gather reads the elements at the given subscripts into vals
+// (NGA_Gather). The subscripts may be scattered arbitrarily; one
+// generalized I/O vector operation is issued per owning process
+// (SectionVI.A's workload).
+func (a *Array) Gather(subs [][]int, vals []float64) error {
+	if len(vals) != len(subs) {
+		return fmt.Errorf("ga: Gather: %d subscripts but %d values", len(subs), len(vals))
+	}
+	groups, order, err := a.iovByOwner(subs)
+	if err != nil {
+		return err
+	}
+	scratch := a.env.scratch(len(subs) * elemBytes)
+	pos := 0
+	for _, bkt := range groups {
+		g := armci.GIOV{Bytes: elemBytes}
+		for _, k := range bkt.idxs {
+			addr, _ := a.blockAddr(bkt.owner, subs[k])
+			g.Src = append(g.Src, addr)
+			g.Dst = append(g.Dst, scratch.Add(pos*elemBytes))
+			order[k] = pos
+			pos++
+		}
+		if err := a.env.Rt.GetV([]armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+			return fmt.Errorf("ga: Gather %q: %w", a.name, err)
+		}
+	}
+	b, err := a.env.Rt.LocalBytes(scratch, len(subs)*elemBytes)
+	if err != nil {
+		return err
+	}
+	for k := range subs {
+		vals[k] = f64get(b[8*order[k]:])
+	}
+	return nil
+}
+
+// Scatter writes vals to the elements at the given subscripts
+// (NGA_Scatter).
+func (a *Array) Scatter(subs [][]int, vals []float64) error {
+	if len(vals) != len(subs) {
+		return fmt.Errorf("ga: Scatter: %d subscripts but %d values", len(subs), len(vals))
+	}
+	groups, _, err := a.iovByOwner(subs)
+	if err != nil {
+		return err
+	}
+	scratch := a.env.scratch(len(subs) * elemBytes)
+	b, err := a.env.Rt.LocalBytes(scratch, len(subs)*elemBytes)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for _, bkt := range groups {
+		g := armci.GIOV{Bytes: elemBytes}
+		for _, k := range bkt.idxs {
+			f64put(b[8*pos:], vals[k])
+			addr, _ := a.blockAddr(bkt.owner, subs[k])
+			g.Src = append(g.Src, scratch.Add(pos*elemBytes))
+			g.Dst = append(g.Dst, addr)
+			pos++
+		}
+		if err := a.env.Rt.PutV([]armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+			return fmt.Errorf("ga: Scatter %q: %w", a.name, err)
+		}
+	}
+	return nil
+}
+
+// ScatterAcc accumulates vals into the elements at the subscripts
+// (NGA_Scatter_acc).
+func (a *Array) ScatterAcc(subs [][]int, vals []float64, alpha float64) error {
+	if len(vals) != len(subs) {
+		return fmt.Errorf("ga: ScatterAcc: %d subscripts but %d values", len(subs), len(vals))
+	}
+	if a.elem != F64 {
+		return fmt.Errorf("ga: ScatterAcc on non-double array %q", a.name)
+	}
+	groups, _, err := a.iovByOwner(subs)
+	if err != nil {
+		return err
+	}
+	scratch := a.env.scratch(len(subs) * elemBytes)
+	b, err := a.env.Rt.LocalBytes(scratch, len(subs)*elemBytes)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for _, bkt := range groups {
+		g := armci.GIOV{Bytes: elemBytes}
+		for _, k := range bkt.idxs {
+			f64put(b[8*pos:], vals[k])
+			addr, _ := a.blockAddr(bkt.owner, subs[k])
+			g.Src = append(g.Src, scratch.Add(pos*elemBytes))
+			g.Dst = append(g.Dst, addr)
+			pos++
+		}
+		if err := a.env.Rt.AccV(armci.AccDbl, alpha, []armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+			return fmt.Errorf("ga: ScatterAcc %q: %w", a.name, err)
+		}
+	}
+	return nil
+}
+
+// ownerBucket is one owner's share of a gather/scatter.
+type ownerBucket struct {
+	owner int
+	idxs  []int
+}
+
+// iovByOwner buckets subscripts by owning process in ascending owner
+// order (map iteration would make virtual time nondeterministic),
+// plus an index map so gathered values land in input order.
+func (a *Array) iovByOwner(subs [][]int) ([]ownerBucket, []int, error) {
+	groups := map[int][]int{}
+	var owners []int
+	for k, sub := range subs {
+		if err := checkRange(a.dist.Dims, sub, sub); err != nil {
+			return nil, nil, err
+		}
+		owner := a.dist.OwnerOfIndex(sub)
+		if _, seen := groups[owner]; !seen {
+			owners = append(owners, owner)
+		}
+		groups[owner] = append(groups[owner], k)
+	}
+	sortInts(owners)
+	out := make([]ownerBucket, len(owners))
+	for i, o := range owners {
+		out[i] = ownerBucket{owner: o, idxs: groups[o]}
+	}
+	return out, make([]int, len(subs)), nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Duplicate creates a new array with the same shape, type, and
+// distribution (GA_Duplicate); contents are zero.
+func (a *Array) Duplicate(name string) (*Array, error) {
+	if a.group == nil {
+		return a.env.Create(name, a.elem, a.dist.Dims)
+	}
+	return a.env.CreateOnGroup(a.group, name, a.elem, a.dist.Dims)
+}
+
+// Scale multiplies every element by alpha (GA_Scale); collective.
+func (a *Array) Scale(alpha float64) error {
+	if a.elem != F64 {
+		return fmt.Errorf("ga: Scale on non-double array %q", a.name)
+	}
+	if idx := a.myOwnerIdx(); idx >= 0 && idx < a.dist.OwnerCount() {
+		b, err := a.Access()
+		if err != nil {
+			return err
+		}
+		n := len(b.mem) / elemBytes
+		for i := 0; i < n; i++ {
+			f64put(b.mem[8*i:], alpha*f64get(b.mem[8*i:]))
+		}
+		if err := b.Release(); err != nil {
+			return err
+		}
+	}
+	a.sync()
+	return nil
+}
+
+// Add computes c = alpha*a + beta*b elementwise (GA_Add); all three
+// arrays must share shape and distribution. Collective.
+func Add(alpha float64, a *Array, beta float64, b *Array, c *Array) error {
+	for _, pair := range [][2]*Array{{a, b}, {a, c}} {
+		x, y := pair[0], pair[1]
+		if len(x.dist.Dims) != len(y.dist.Dims) {
+			return fmt.Errorf("ga: Add: rank mismatch %q/%q", x.name, y.name)
+		}
+		for d := range x.dist.Dims {
+			if x.dist.Dims[d] != y.dist.Dims[d] {
+				return fmt.Errorf("ga: Add: extent mismatch in dim %d", d)
+			}
+		}
+	}
+	// Each process combines the patches covering its c block.
+	if idx := c.myOwnerIdx(); idx >= 0 && idx < c.dist.OwnerCount() {
+		lo, hi, ok := c.dist.Block(idx)
+		if ok {
+			n := c.reqLen(lo, hi)
+			av := make([]float64, n)
+			bv := make([]float64, n)
+			if err := a.Get(lo, hi, av); err != nil {
+				return err
+			}
+			if err := b.Get(lo, hi, bv); err != nil {
+				return err
+			}
+			blk, err := c.Access()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				f64put(blk.mem[8*i:], alpha*av[i]+beta*bv[i])
+			}
+			if err := blk.Release(); err != nil {
+				return err
+			}
+		}
+	}
+	c.sync()
+	return nil
+}
+
+// Dot returns the global dot product sum(a .* b) (GA_Ddot); collective.
+func Dot(a, b *Array) (float64, error) {
+	if len(a.dist.Dims) != len(b.dist.Dims) {
+		return 0, fmt.Errorf("ga: Dot: rank mismatch")
+	}
+	for d := range a.dist.Dims {
+		if a.dist.Dims[d] != b.dist.Dims[d] {
+			return 0, fmt.Errorf("ga: Dot: extent mismatch in dim %d", d)
+		}
+	}
+	local := 0.0
+	if idx := a.myOwnerIdx(); idx >= 0 && idx < a.dist.OwnerCount() {
+		lo, hi, ok := a.dist.Block(idx)
+		if ok {
+			n := a.reqLen(lo, hi)
+			av := make([]float64, n)
+			bv := make([]float64, n)
+			if err := a.Get(lo, hi, av); err != nil {
+				return 0, err
+			}
+			if err := b.Get(lo, hi, bv); err != nil {
+				return 0, err
+			}
+			for i := range av {
+				local += av[i] * bv[i]
+			}
+		}
+	}
+	out := a.env.GopF64(mpi.OpSum, []float64{local})
+	return out[0], nil
+}
+
+// Norm2 returns the Frobenius norm of the array; collective.
+func (a *Array) Norm2() (float64, error) {
+	d, err := Dot(a, a)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}
+
+// MaxElem returns the largest absolute element value and its
+// subscripts (GA_Select_elem with "max"); collective.
+func (a *Array) MaxElem() (float64, []int, error) {
+	best := math.Inf(-1)
+	var bestIdx []int
+	if idx := a.myOwnerIdx(); idx >= 0 && idx < a.dist.OwnerCount() {
+		blk, err := a.Access()
+		if err != nil {
+			return 0, nil, err
+		}
+		d := blk.Dims()
+		n := len(blk.mem) / elemBytes
+		for i := 0; i < n; i++ {
+			v := math.Abs(f64get(blk.mem[8*i:]))
+			if v > best {
+				best = v
+				// Unflatten i into block-relative then global indices.
+				rem := i
+				bestIdx = make([]int, len(d))
+				for dd := len(d) - 1; dd >= 0; dd-- {
+					bestIdx[dd] = rem%d[dd] + blk.Lo[dd]
+					rem /= d[dd]
+				}
+			}
+		}
+		if err := blk.Release(); err != nil {
+			return 0, nil, err
+		}
+	}
+	// Reduce (value, flattened index) pairs: max on value, with the
+	// winner's coordinates broadcast by encoding them alongside.
+	nd := len(a.dist.Dims)
+	enc := make([]float64, 1+nd)
+	enc[0] = best
+	for d := 0; d < nd; d++ {
+		if bestIdx != nil {
+			enc[1+d] = float64(bestIdx[d])
+		} else {
+			enc[1+d] = -1
+		}
+	}
+	// Owner of the global max wins: allgather and scan (world order
+	// breaks ties deterministically).
+	flat := a.env.Mpi.CommWorld().Allgather(mpi.F64sToBytes(enc))
+	winVal := math.Inf(-1)
+	var winIdx []int
+	for _, part := range flat {
+		dec := mpi.BytesToF64s(part)
+		if len(dec) != 1+nd {
+			continue
+		}
+		if dec[0] > winVal {
+			winVal = dec[0]
+			winIdx = make([]int, nd)
+			for d := 0; d < nd; d++ {
+				winIdx[d] = int(dec[1+d])
+			}
+		}
+	}
+	return winVal, winIdx, nil
+}

@@ -1,0 +1,252 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGatherScatter(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("gs", F64, []int{20, 20})
+		must(t, err)
+		if e.Me() == 1 {
+			// Scatter to scattered subscripts across all owners.
+			subs := [][]int{{0, 0}, {19, 19}, {3, 17}, {17, 3}, {10, 10}, {0, 19}}
+			vals := []float64{1.5, -2, 3, 4.25, 5, -6}
+			must(t, a.Scatter(subs, vals))
+			// Gather them back in a different order.
+			perm := [][]int{{10, 10}, {0, 0}, {0, 19}, {17, 3}, {3, 17}, {19, 19}}
+			got := make([]float64, len(perm))
+			must(t, a.Gather(perm, got))
+			want := []float64{5, 1.5, -6, 4.25, 3, -2}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("gather[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestScatterAcc(t *testing.T) {
+	runGA(t, 3, func(t *testing.T, e *Env) {
+		a, err := e.Create("sacc", F64, []int{9, 9})
+		must(t, err)
+		subs := [][]int{{1, 1}, {8, 8}, {4, 4}}
+		vals := []float64{1, 1, 1}
+		// Every rank accumulates 2x ones at the same subscripts.
+		must(t, a.ScatterAcc(subs, vals, 2))
+		e.Sync()
+		if e.Me() == 0 {
+			got := make([]float64, 3)
+			must(t, a.Gather(subs, got))
+			for i, v := range got {
+				if v != 6 { // 3 ranks x alpha 2
+					t.Fatalf("scatter-acc elem %d = %v, want 6", i, v)
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestGatherErrors(t *testing.T) {
+	runGA(t, 2, func(t *testing.T, e *Env) {
+		a, err := e.Create("g", F64, []int{4, 4})
+		must(t, err)
+		if e.Me() == 0 {
+			if err := a.Gather([][]int{{9, 9}}, make([]float64, 1)); err == nil {
+				t.Error("out-of-range gather accepted")
+			}
+			if err := a.Gather([][]int{{0, 0}}, make([]float64, 2)); err == nil {
+				t.Error("length mismatch accepted")
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestScaleAddDotNorm(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("a", F64, []int{10, 6})
+		must(t, err)
+		b, err := a.Duplicate("b")
+		must(t, err)
+		c, err := a.Duplicate("c")
+		must(t, err)
+		must(t, a.Fill(2))
+		must(t, b.Fill(3))
+		must(t, a.Scale(2)) // a = 4 everywhere
+		must(t, Add(1, a, 2, b, c))
+		// c = 4 + 6 = 10 everywhere.
+		d, err := Dot(c, c)
+		must(t, err)
+		if want := 100.0 * 60; d != want {
+			t.Errorf("dot = %v, want %v", d, want)
+		}
+		n, err := c.Norm2()
+		must(t, err)
+		if math.Abs(n-math.Sqrt(6000)) > 1e-9 {
+			t.Errorf("norm = %v", n)
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		must(t, b.Destroy())
+		must(t, c.Destroy())
+	})
+}
+
+func TestMaxElem(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("m", F64, []int{12, 12})
+		must(t, err)
+		must(t, a.Fill(1))
+		if e.Me() == 2 {
+			must(t, a.Put([]int{7, 9}, []int{7, 9}, []float64{-42}))
+		}
+		e.Sync()
+		v, idx, err := a.MaxElem()
+		must(t, err)
+		if v != 42 || idx[0] != 7 || idx[1] != 9 {
+			t.Errorf("max elem = %v at %v, want 42 at [7 9]", v, idx)
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestDgemmAgainstSerial(t *testing.T) {
+	const M, K, N = 12, 18, 9
+	rnd := rand.New(rand.NewSource(11))
+	av := make([]float64, M*K)
+	bv := make([]float64, K*N)
+	for i := range av {
+		av[i] = rnd.Float64() - 0.5
+	}
+	for i := range bv {
+		bv[i] = rnd.Float64() - 0.5
+	}
+	want := make([]float64, M*N)
+	for i := 0; i < M; i++ {
+		for k := 0; k < K; k++ {
+			for j := 0; j < N; j++ {
+				want[i*N+j] += av[i*K+k] * bv[k*N+j]
+			}
+		}
+	}
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("A", F64, []int{M, K})
+		must(t, err)
+		b, err := e.Create("B", F64, []int{K, N})
+		must(t, err)
+		c, err := e.Create("C", F64, []int{M, N})
+		must(t, err)
+		if e.Me() == 0 {
+			must(t, a.Put([]int{0, 0}, []int{M - 1, K - 1}, av))
+			must(t, b.Put([]int{0, 0}, []int{K - 1, N - 1}, bv))
+		}
+		must(t, c.Fill(1)) // exercises beta
+		must(t, Dgemm(2, a, b, 0.5, c, 7, nil))
+		if e.Me() == 1 {
+			got := make([]float64, M*N)
+			must(t, c.Get([]int{0, 0}, []int{M - 1, N - 1}, got))
+			for i := range got {
+				expect := 2*want[i] + 0.5
+				if math.Abs(got[i]-expect) > 1e-9 {
+					t.Fatalf("C[%d] = %v, want %v", i, got[i], expect)
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		must(t, b.Destroy())
+		must(t, c.Destroy())
+	})
+}
+
+func TestDgemmShapeErrors(t *testing.T) {
+	runGA(t, 2, func(t *testing.T, e *Env) {
+		a, _ := e.Create("A", F64, []int{4, 6})
+		b, _ := e.Create("B", F64, []int{5, 3}) // K mismatch
+		c, _ := e.Create("C", F64, []int{4, 3})
+		if err := Dgemm(1, a, b, 0, c, 4, nil); err == nil {
+			t.Error("Dgemm with K mismatch accepted")
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		must(t, b.Destroy())
+		must(t, c.Destroy())
+	})
+}
+
+func TestTransposeLibrary(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("A", F64, []int{10, 14})
+		must(t, err)
+		b, err := e.Create("B", F64, []int{14, 10})
+		must(t, err)
+		if e.Me() == 0 {
+			vals := make([]float64, 10*14)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			must(t, a.Put([]int{0, 0}, []int{9, 13}, vals))
+		}
+		must(t, Transpose(a, b))
+		if e.Me() == 3 {
+			got := make([]float64, 14*10)
+			must(t, b.Get([]int{0, 0}, []int{13, 9}, got))
+			for i := 0; i < 10; i++ {
+				for j := 0; j < 14; j++ {
+					if got[j*10+i] != float64(i*14+j) {
+						t.Fatalf("B[%d][%d] wrong", j, i)
+					}
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		must(t, b.Destroy())
+	})
+}
+
+func TestPutGetI64(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("ints", I64, []int{8, 8})
+		must(t, err)
+		if e.Me() == 2 {
+			vals := make([]int64, 64)
+			for i := range vals {
+				vals[i] = int64(i*i) - 31
+			}
+			must(t, a.PutI64([]int{0, 0}, []int{7, 7}, vals))
+			out := make([]int64, 64)
+			must(t, a.GetI64([]int{0, 0}, []int{7, 7}, out))
+			for i := range out {
+				if out[i] != vals[i] {
+					t.Fatalf("i64 elem %d = %d, want %d", i, out[i], vals[i])
+				}
+			}
+			if err := a.PutI64([]int{0, 0}, []int{0, 0}, []int64{1, 2}); err == nil {
+				t.Error("length mismatch accepted")
+			}
+		}
+		e.Sync()
+		// ReadInc interoperates with PutI64 contents.
+		if e.Me() == 1 {
+			old, err := a.ReadInc([]int{3, 3}, 10)
+			must(t, err)
+			want := int64(27*27) - 31 // (3*8+3)^2 - 31
+			if old != want {
+				t.Errorf("ReadInc old = %d, want %d", old, want)
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}

@@ -1,0 +1,136 @@
+// Package ga implements the Global Arrays PGAS programming model on
+// top of the ARMCI runtime interface (SectionII.B): distributed,
+// shared, multidimensional arrays accessed through one-sided
+// GA_Get/GA_Put/GA_Accumulate operations on high-level index ranges,
+// plus locality queries, direct local access, atomic read-increment
+// (the NXTVAL dynamic load-balancing counter), and collective helpers.
+//
+// A GA operation on an index range fans out into one noncontiguous
+// (strided) ARMCI operation per owning process, exactly as in the
+// paper's Figure 2. The package is oblivious to which ARMCI
+// implementation is underneath — native or ARMCI-MPI.
+package ga
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/armci"
+	"repro/internal/mpi"
+)
+
+// Elem identifies the element type of an array.
+type Elem int
+
+const (
+	// F64 is double precision (GA's C_DBL), 8 bytes.
+	F64 Elem = iota
+	// I64 is a 64-bit integer (GA's C_LONG), 8 bytes.
+	I64
+)
+
+const elemBytes = 8
+
+func (e Elem) String() string {
+	if e == I64 {
+		return "i64"
+	}
+	return "f64"
+}
+
+// Env is one rank's Global Arrays environment: the ARMCI runtime and
+// the MPI rank used for GA's collective operations (GA_Brdcst, GA_Dgop).
+type Env struct {
+	Rt   armci.Runtime
+	Mpi  *mpi.Rank
+	next int // per-rank array id counter; identical across ranks
+
+	// scratch is the reusable local transfer buffer. Reuse matters: a
+	// registration cache only pays off if buffers are stable, exactly
+	// as GA's MA-pool buffers behave on the real systems (Figure 5's
+	// on-demand registration discussion).
+	scratchAddr armci.Addr
+	scratchLen  int
+}
+
+// scratch returns a local buffer of at least n bytes, growing (and
+// re-registering) geometrically.
+func (e *Env) scratch(n int) armci.Addr {
+	if n <= e.scratchLen {
+		return e.scratchAddr
+	}
+	if e.scratchLen > 0 {
+		if err := e.Rt.FreeLocal(e.scratchAddr); err != nil {
+			panic(err)
+		}
+	}
+	size := e.scratchLen * 2
+	if size < n {
+		size = n
+	}
+	if size < 4096 {
+		size = 4096
+	}
+	e.scratchAddr = e.Rt.MallocLocal(size)
+	e.scratchLen = size
+	return e.scratchAddr
+}
+
+// NewEnv creates the per-rank GA environment.
+func NewEnv(rt armci.Runtime, r *mpi.Rank) *Env {
+	return &Env{Rt: rt, Mpi: r}
+}
+
+// Nprocs returns the world size.
+func (e *Env) Nprocs() int { return e.Rt.Nprocs() }
+
+// Me returns the calling world rank.
+func (e *Env) Me() int { return e.Rt.Rank() }
+
+// Sync synchronizes all processes and completes all outstanding GA
+// communication (GA_Sync).
+func (e *Env) Sync() { e.Rt.Barrier() }
+
+// GopF64 performs the GA_Dgop collective: elementwise reduction of a
+// double vector across all processes; the result replaces vals on
+// every process.
+func (e *Env) GopF64(op mpi.Op, vals []float64) []float64 {
+	return e.Mpi.CommWorld().AllreduceF64(op, vals)
+}
+
+// GopI64 is GA_Igop for 64-bit integers.
+func (e *Env) GopI64(op mpi.Op, vals []int64) []int64 {
+	return e.Mpi.CommWorld().AllreduceI64(op, vals)
+}
+
+// BrdcstF64 broadcasts doubles from root (GA_Brdcst).
+func (e *Env) BrdcstF64(root int, vals []float64) []float64 {
+	return e.Mpi.CommWorld().BcastF64(root, vals)
+}
+
+// f64get reads a float64 from region bytes.
+func f64get(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// f64put writes a float64 into region bytes.
+func f64put(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+// i64get reads an int64 from region bytes.
+func i64get(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// i64put writes an int64 into region bytes.
+func i64put(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) }
+
+// checkRange validates a patch against array bounds (inclusive hi, GA
+// convention).
+func checkRange(dims, lo, hi []int) error {
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return fmt.Errorf("ga: patch dimensionality %d/%d, array has %d", len(lo), len(hi), len(dims))
+	}
+	for d := range dims {
+		if lo[d] < 0 || hi[d] >= dims[d] || lo[d] > hi[d] {
+			return fmt.Errorf("ga: bad range [%d,%d] in dim %d of extent %d", lo[d], hi[d], d, dims[d])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package ga
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// runGA executes body under all ARMCI implementations.
+func runGA(t *testing.T, n int, body func(t *testing.T, e *Env)) {
+	t.Helper()
+	for _, impl := range []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI, harness.ImplDataServer} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			j, err := harness.NewJob(harness.TestPlatform(), n, impl, armcimpi.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = j.Eng.Run(n, func(p *sim.Proc) {
+				rt := j.Runtime(p)
+				body(t, NewEnv(rt, j.MpiWorld.Rank(p)))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionCoversArray(t *testing.T) {
+	check := func(d0, d1 uint8, np uint8) bool {
+		dims := []int{int(d0%40) + 1, int(d1%40) + 1}
+		nprocs := int(np%16) + 1
+		dist := newDistribution(dims, nprocs)
+		seen := make(map[[2]int]int)
+		for o := 0; o < dist.OwnerCount(); o++ {
+			lo, hi, ok := dist.Block(o)
+			if !ok {
+				continue
+			}
+			for i := lo[0]; i <= hi[0]; i++ {
+				for j := lo[1]; j <= hi[1]; j++ {
+					seen[[2]int{i, j}]++
+					if dist.OwnerOfIndex([]int{i, j}) != o {
+						return false
+					}
+				}
+			}
+		}
+		if len(seen) != dims[0]*dims[1] {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectMatchesNaive(t *testing.T) {
+	check := func(d0, d1, np, l0, l1, h0, h1 uint8) bool {
+		dims := []int{int(d0%30) + 1, int(d1%30) + 1}
+		dist := newDistribution(dims, int(np%12)+1)
+		lo := []int{int(l0) % dims[0], int(l1) % dims[1]}
+		hi := []int{lo[0] + int(h0)%(dims[0]-lo[0]), lo[1] + int(h1)%(dims[1]-lo[1])}
+		patches := dist.Intersect(lo, hi)
+		// Every element of [lo,hi] must appear in exactly one patch,
+		// owned by the right process.
+		count := 0
+		for _, p := range patches {
+			for i := p.Lo[0]; i <= p.Hi[0]; i++ {
+				for j := p.Lo[1]; j <= p.Hi[1]; j++ {
+					if dist.OwnerOfIndex([]int{i, j}) != p.Owner {
+						return false
+					}
+					count++
+				}
+			}
+		}
+		return count == (hi[0]-lo[0]+1)*(hi[1]-lo[1]+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorGridRespectsDims(t *testing.T) {
+	grid := factorGrid(8, []int{2, 100})
+	if grid[0] > 2 {
+		t.Errorf("grid %v splits dim of extent 2 into %d", grid, grid[0])
+	}
+	p := grid[0] * grid[1]
+	if p > 8 {
+		t.Errorf("grid %v exceeds process count", grid)
+	}
+	grid1 := factorGrid(6, []int{50})
+	if grid1[0] != 6 {
+		t.Errorf("1-D grid = %v, want [6]", grid1)
+	}
+}
+
+func TestPutGetRoundTrip2D(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("A", F64, []int{17, 23})
+		must(t, err)
+		if e.Me() == 0 {
+			lo, hi := []int{2, 3}, []int{12, 19}
+			n := (12 - 2 + 1) * (19 - 3 + 1)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(i) + 0.5
+			}
+			must(t, a.Put(lo, hi, vals))
+			out := make([]float64, n)
+			must(t, a.Get(lo, hi, out))
+			for i := range out {
+				if out[i] != vals[i] {
+					t.Fatalf("elem %d = %v, want %v", i, out[i], vals[i])
+				}
+			}
+			// Single elements are retrievable too.
+			one := make([]float64, 1)
+			must(t, a.Get([]int{5, 7}, []int{5, 7}, one))
+			want := float64((5-2)*17+(7-3)) + 0.5
+			if one[0] != want {
+				t.Fatalf("element (5,7) = %v, want %v", one[0], want)
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestPutSpansMultipleOwners(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("A", F64, []int{16, 16})
+		must(t, err)
+		// Figure 2: a patch touching all four blocks.
+		if e.Me() == 1 {
+			patches, err := a.LocateRegion([]int{0, 0}, []int{15, 15})
+			must(t, err)
+			if len(patches) != 4 {
+				t.Errorf("full-range fan-out = %d patches, want 4", len(patches))
+			}
+			vals := make([]float64, 256)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			must(t, a.Put([]int{0, 0}, []int{15, 15}, vals))
+		}
+		e.Sync()
+		// Every rank verifies its own block through direct access.
+		blk, err := a.Access()
+		if err == nil {
+			d := blk.Dims()
+			for i := 0; i < d[0]; i++ {
+				for j := 0; j < d[1]; j++ {
+					want := float64((blk.Lo[0]+i)*16 + blk.Lo[1] + j)
+					if got := blk.F64(i, j); got != want {
+						t.Fatalf("rank %d block (%d,%d) = %v, want %v", e.Me(), i, j, got, want)
+					}
+				}
+			}
+			must(t, blk.Release())
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestAccumulateConcurrent(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("acc", F64, []int{8, 8})
+		must(t, err)
+		vals := make([]float64, 64)
+		for i := range vals {
+			vals[i] = 1
+		}
+		// All ranks accumulate 2x ones over the whole array.
+		must(t, a.Acc([]int{0, 0}, []int{7, 7}, vals, 2))
+		e.Sync()
+		out := make([]float64, 64)
+		must(t, a.Get([]int{0, 0}, []int{7, 7}, out))
+		for i, v := range out {
+			if v != 8 { // 4 ranks x alpha 2
+				t.Fatalf("elem %d = %v, want 8", i, v)
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func Test3DArray(t *testing.T) {
+	runGA(t, 8, func(t *testing.T, e *Env) {
+		a, err := e.Create("T", F64, []int{6, 10, 14})
+		must(t, err)
+		if e.Me() == 3 {
+			lo, hi := []int{1, 2, 3}, []int{4, 8, 11}
+			n := 4 * 7 * 9
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(i * 2)
+			}
+			must(t, a.Put(lo, hi, vals))
+			out := make([]float64, n)
+			must(t, a.Get(lo, hi, out))
+			for i := range out {
+				if out[i] != vals[i] {
+					t.Fatalf("3D elem %d = %v, want %v", i, out[i], vals[i])
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestReadIncCounter(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		c, err := e.Create("nxtval", I64, []int{1})
+		must(t, err)
+		must(t, c.FillI64(0))
+		// The NXTVAL pattern: every rank draws task ids.
+		seen := map[int64]bool{}
+		for i := 0; i < 5; i++ {
+			v, err := c.ReadInc([]int{0}, 1)
+			must(t, err)
+			if seen[v] {
+				t.Errorf("task id %d drawn twice by rank %d", v, e.Me())
+			}
+			seen[v] = true
+			if v < 0 || v >= 20 {
+				t.Errorf("task id %d out of range", v)
+			}
+		}
+		e.Sync()
+		must(t, c.Destroy())
+	})
+}
+
+func TestFillZeroCopy(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("src", F64, []int{12, 9})
+		must(t, err)
+		b, err := e.Create("dst", F64, []int{12, 9})
+		must(t, err)
+		must(t, a.Fill(3.25))
+		must(t, a.CopyTo(b))
+		if e.Me() == 2 {
+			out := make([]float64, 12*9)
+			must(t, b.Get([]int{0, 0}, []int{11, 8}, out))
+			for i, v := range out {
+				if v != 3.25 {
+					t.Fatalf("copied elem %d = %v", i, v)
+				}
+			}
+		}
+		must(t, a.Zero())
+		if e.Me() == 1 {
+			out := make([]float64, 12*9)
+			must(t, a.Get([]int{0, 0}, []int{11, 8}, out))
+			for i, v := range out {
+				if v != 0 {
+					t.Fatalf("zeroed elem %d = %v", i, v)
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		must(t, b.Destroy())
+	})
+}
+
+func TestDistributionQueries(t *testing.T) {
+	runGA(t, 4, func(t *testing.T, e *Env) {
+		a, err := e.Create("A", F64, []int{20, 20})
+		must(t, err)
+		covered := 0
+		for r := 0; r < e.Nprocs(); r++ {
+			lo, hi, ok := a.Distribution(r)
+			if !ok {
+				continue
+			}
+			covered += (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+			owner, err := a.Locate(lo)
+			must(t, err)
+			if owner != r {
+				t.Errorf("Locate(%v) = %d, want %d", lo, owner, r)
+			}
+		}
+		if covered != 400 {
+			t.Errorf("blocks cover %d elements, want 400", covered)
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestGroupArray(t *testing.T) {
+	runGA(t, 6, func(t *testing.T, e *Env) {
+		g, err := e.Rt.GroupCreateCollective([]int{1, 3, 5})
+		must(t, err)
+		if g == nil {
+			e.Sync()
+			return
+		}
+		a, err := e.CreateOnGroup(g, "grp", F64, []int{9, 9})
+		must(t, err)
+		if e.Me() == 1 {
+			vals := make([]float64, 81)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			must(t, a.Put([]int{0, 0}, []int{8, 8}, vals))
+			out := make([]float64, 81)
+			must(t, a.Get([]int{0, 0}, []int{8, 8}, out))
+			for i := range out {
+				if out[i] != vals[i] {
+					t.Fatalf("group array elem %d", i)
+				}
+			}
+		}
+		must(t, a.Destroy())
+		e.Sync()
+	})
+}
+
+func TestCollectives(t *testing.T) {
+	runGA(t, 5, func(t *testing.T, e *Env) {
+		sum := e.GopF64(mpi.OpSum, []float64{float64(e.Me() + 1)})
+		if sum[0] != 15 {
+			t.Errorf("Dgop sum = %v", sum[0])
+		}
+		var data []float64
+		if e.Me() == 2 {
+			data = []float64{1.5, -2}
+		} else {
+			data = make([]float64, 2)
+		}
+		out := e.BrdcstF64(2, data)
+		if out[0] != 1.5 || out[1] != -2 {
+			t.Errorf("Brdcst = %v", out)
+		}
+	})
+}
+
+func TestErrorPaths(t *testing.T) {
+	runGA(t, 2, func(t *testing.T, e *Env) {
+		if _, err := e.Create("bad", F64, []int{0}); err == nil {
+			t.Error("zero-extent array accepted")
+		}
+		a, err := e.Create("A", F64, []int{4, 4})
+		must(t, err)
+		if err := a.Put([]int{0, 0}, []int{4, 4}, make([]float64, 25)); err == nil {
+			t.Error("out-of-bounds put accepted")
+		}
+		if err := a.Put([]int{0, 0}, []int{1, 1}, make([]float64, 3)); err == nil {
+			t.Error("wrong buffer length accepted")
+		}
+		if _, err := a.ReadInc([]int{0, 0}, 1); err == nil {
+			t.Error("ReadInc on double array accepted")
+		}
+		e.Sync()
+		must(t, a.Destroy())
+		if err := a.Destroy(); err == nil {
+			t.Error("double destroy accepted")
+		}
+	})
+}
+
+func TestUnevenDims(t *testing.T) {
+	// Dims that do not divide evenly among processes.
+	runGA(t, 3, func(t *testing.T, e *Env) {
+		a, err := e.Create("odd", F64, []int{7, 5})
+		must(t, err)
+		if e.Me() == 0 {
+			vals := make([]float64, 35)
+			for i := range vals {
+				vals[i] = float64(i + 1)
+			}
+			must(t, a.Put([]int{0, 0}, []int{6, 4}, vals))
+			out := make([]float64, 35)
+			must(t, a.Get([]int{0, 0}, []int{6, 4}, out))
+			for i := range out {
+				if out[i] != vals[i] {
+					t.Fatalf("uneven elem %d = %v", i, out[i])
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+func TestMoreRanksThanElements(t *testing.T) {
+	runGA(t, 8, func(t *testing.T, e *Env) {
+		a, err := e.Create("tiny", F64, []int{2, 2})
+		must(t, err)
+		if e.Me() == 7 {
+			must(t, a.Put([]int{0, 0}, []int{1, 1}, []float64{1, 2, 3, 4}))
+			out := make([]float64, 4)
+			must(t, a.Get([]int{0, 0}, []int{1, 1}, out))
+			for i, v := range out {
+				if v != float64(i+1) {
+					t.Fatalf("tiny elem %d = %v", i, v)
+				}
+			}
+		}
+		e.Sync()
+		must(t, a.Destroy())
+	})
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,363 @@
+package ga
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+)
+
+// rowStrides returns the byte stride of each dimension of a row-major
+// array with the given extents.
+func rowStrides(dims []int) []int {
+	nd := len(dims)
+	rs := make([]int, nd)
+	rs[nd-1] = elemBytes
+	for d := nd - 2; d >= 0; d-- {
+		rs[d] = rs[d+1] * dims[d+1]
+	}
+	return rs
+}
+
+// patchStrided builds the ARMCI strided descriptor moving the patch
+// [p.Lo, p.Hi] between the remote block of owner and a local row-major
+// buffer holding the full request [lo..hi]. dir selects orientation:
+// for a put/acc the local buffer is the source; for a get it is the
+// destination. Trailing dimensions that are contiguous on both sides
+// are collapsed, as GA's runtime does before calling ARMCI.
+func (a *Array) patchStrided(owner int, p Patch, lo, hi []int, local armci.Addr, isPut bool) *armci.Strided {
+	nd := len(a.dist.Dims)
+	bd := a.dist.BlockDims(owner)
+	remoteBase, _ := a.blockAddr(owner, p.Lo)
+	reqDims := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		reqDims[d] = hi[d] - lo[d] + 1
+	}
+	rsLocal := rowStrides(reqDims)
+	rsRemote := rowStrides(bd)
+	// Local base offset of the patch corner within the request buffer.
+	off := 0
+	for d := 0; d < nd; d++ {
+		off += (p.Lo[d] - lo[d]) * rsLocal[d]
+	}
+	localBase := local.Add(off)
+	// Patch extents.
+	pl := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		pl[d] = p.Hi[d] - p.Lo[d] + 1
+	}
+	// Collapse trailing dims that are dense on both sides.
+	inner := nd - 1
+	seg := pl[inner] * elemBytes
+	for inner > 0 && seg == rsLocal[inner-1] && seg == rsRemote[inner-1] {
+		inner--
+		seg *= pl[inner]
+	}
+	// Build Table I notation: count[0] = seg bytes; levels walk outward.
+	sl := inner
+	count := make([]int, sl+1)
+	count[0] = seg
+	localStride := make([]int, sl)
+	remoteStride := make([]int, sl)
+	for i := 0; i < sl; i++ {
+		dim := inner - 1 - i
+		count[i+1] = pl[dim]
+		localStride[i] = rsLocal[dim]
+		remoteStride[i] = rsRemote[dim]
+	}
+	s := &armci.Strided{Count: count}
+	if isPut {
+		s.Src, s.Dst = localBase, remoteBase
+		s.SrcStride, s.DstStride = localStride, remoteStride
+	} else {
+		s.Src, s.Dst = remoteBase, localBase
+		s.SrcStride, s.DstStride = remoteStride, localStride
+	}
+	return s
+}
+
+// scratchFrom marshals host floats into a local runtime buffer. The
+// copy is host-language marshalling, not simulated work: in the C
+// implementation the user buffer is used directly.
+func (a *Array) scratchFromF64(vals []float64) armci.Addr {
+	addr := a.env.scratch(len(vals) * elemBytes)
+	b, err := a.env.Rt.LocalBytes(addr, len(vals)*elemBytes)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range vals {
+		f64put(b[8*i:], v)
+	}
+	return addr
+}
+
+func (a *Array) scratchToF64(addr armci.Addr, vals []float64) {
+	b, err := a.env.Rt.LocalBytes(addr, len(vals)*elemBytes)
+	if err != nil {
+		panic(err)
+	}
+	for i := range vals {
+		vals[i] = f64get(b[8*i:])
+	}
+}
+
+func (a *Array) reqLen(lo, hi []int) int {
+	n := 1
+	for d := range lo {
+		n *= hi[d] - lo[d] + 1
+	}
+	return n
+}
+
+func (a *Array) checkOp(lo, hi []int, vals []float64) error {
+	if a.freed {
+		return fmt.Errorf("ga: operation on destroyed array %q", a.name)
+	}
+	if err := checkRange(a.dist.Dims, lo, hi); err != nil {
+		return err
+	}
+	if want := a.reqLen(lo, hi); len(vals) != want {
+		return fmt.Errorf("ga: buffer has %d elements, patch needs %d", len(vals), want)
+	}
+	return nil
+}
+
+// Put writes vals (row-major over the inclusive range [lo, hi]) into
+// the array (GA_Put / NGA_Put). One strided ARMCI put is issued per
+// owning process (Figure 2).
+func (a *Array) Put(lo, hi []int, vals []float64) error {
+	if err := a.checkOp(lo, hi, vals); err != nil {
+		return err
+	}
+	scratch := a.scratchFromF64(vals)
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
+		var err error
+		if s.Levels() == 0 {
+			err = a.env.Rt.Put(s.Src, s.Dst, s.SegBytes())
+		} else {
+			err = a.env.Rt.PutS(s)
+		}
+		if err != nil {
+			return fmt.Errorf("ga: Put %q: %w", a.name, err)
+		}
+	}
+	return nil
+}
+
+// Get reads the inclusive range [lo, hi] into vals (row-major)
+// (GA_Get / NGA_Get).
+func (a *Array) Get(lo, hi []int, vals []float64) error {
+	if err := a.checkOp(lo, hi, vals); err != nil {
+		return err
+	}
+	scratch := a.env.scratch(len(vals) * elemBytes)
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, scratch, false)
+		var err error
+		if s.Levels() == 0 {
+			err = a.env.Rt.Get(s.Src, s.Dst, s.SegBytes())
+		} else {
+			err = a.env.Rt.GetS(s)
+		}
+		if err != nil {
+			return fmt.Errorf("ga: Get %q: %w", a.name, err)
+		}
+	}
+	a.scratchToF64(scratch, vals)
+	return nil
+}
+
+// Acc atomically accumulates alpha*vals into the range [lo, hi]
+// (GA_Acc / NGA_Acc).
+func (a *Array) Acc(lo, hi []int, vals []float64, alpha float64) error {
+	if err := a.checkOp(lo, hi, vals); err != nil {
+		return err
+	}
+	if a.elem != F64 {
+		return fmt.Errorf("ga: Acc on non-double array %q", a.name)
+	}
+	scratch := a.scratchFromF64(vals)
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
+		var err error
+		if s.Levels() == 0 {
+			err = a.env.Rt.Acc(armci.AccDbl, alpha, s.Src, s.Dst, s.SegBytes())
+		} else {
+			err = a.env.Rt.AccS(armci.AccDbl, alpha, s)
+		}
+		if err != nil {
+			return fmt.Errorf("ga: Acc %q: %w", a.name, err)
+		}
+	}
+	return nil
+}
+
+// ReadInc atomically adds inc to the int64 element at idx and returns
+// its previous value (GA_Read_inc — NWChem's NXTVAL dynamic
+// load-balancing counter).
+func (a *Array) ReadInc(idx []int, inc int64) (int64, error) {
+	if a.elem != I64 {
+		return 0, fmt.Errorf("ga: ReadInc on non-integer array %q", a.name)
+	}
+	if err := checkRange(a.dist.Dims, idx, idx); err != nil {
+		return 0, err
+	}
+	owner := a.dist.OwnerOfIndex(idx)
+	addr, _ := a.blockAddr(owner, idx)
+	return a.env.Rt.Rmw(armci.FetchAndAdd, addr, inc)
+}
+
+// Fill sets every element to v (GA_Fill); collective.
+func (a *Array) Fill(v float64) error {
+	if idx := a.myOwnerIdx(); idx >= 0 && idx < a.dist.OwnerCount() {
+		b, err := a.Access()
+		if err != nil {
+			return err
+		}
+		n := len(b.mem) / elemBytes
+		for i := 0; i < n; i++ {
+			f64put(b.mem[8*i:], v)
+		}
+		if err := b.Release(); err != nil {
+			return err
+		}
+	}
+	a.sync()
+	return nil
+}
+
+// FillI64 sets every element of an integer array to v; collective.
+func (a *Array) FillI64(v int64) error {
+	if a.elem != I64 {
+		return fmt.Errorf("ga: FillI64 on non-integer array %q", a.name)
+	}
+	if idx := a.myOwnerIdx(); idx >= 0 && idx < a.dist.OwnerCount() {
+		b, err := a.Access()
+		if err != nil {
+			return err
+		}
+		n := len(b.mem) / elemBytes
+		for i := 0; i < n; i++ {
+			i64put(b.mem[8*i:], v)
+		}
+		if err := b.Release(); err != nil {
+			return err
+		}
+	}
+	a.sync()
+	return nil
+}
+
+// Zero clears the array (GA_Zero); collective.
+func (a *Array) Zero() error { return a.Fill(0) }
+
+// CopyTo copies this array into dst, which must have identical shape
+// and element type (GA_Copy); collective. Each process gathers the
+// range its dst block covers from the source.
+func (a *Array) CopyTo(dst *Array) error {
+	if len(a.dist.Dims) != len(dst.dist.Dims) || a.elem != dst.elem {
+		return fmt.Errorf("ga: Copy shape/type mismatch %q -> %q", a.name, dst.name)
+	}
+	for d := range a.dist.Dims {
+		if a.dist.Dims[d] != dst.dist.Dims[d] {
+			return fmt.Errorf("ga: Copy extent mismatch in dim %d", d)
+		}
+	}
+	a.sync()
+	if idx := dst.myOwnerIdx(); idx >= 0 && idx < dst.dist.OwnerCount() {
+		lo, hi, ok := dst.dist.Block(idx)
+		if ok {
+			vals := make([]float64, dst.reqLen(lo, hi))
+			if err := a.Get(lo, hi, vals); err != nil {
+				return err
+			}
+			blk, err := dst.Access()
+			if err != nil {
+				return err
+			}
+			for i, v := range vals {
+				f64put(blk.mem[8*i:], v)
+			}
+			if err := blk.Release(); err != nil {
+				return err
+			}
+		}
+	}
+	a.sync()
+	return nil
+}
+
+// scratchFromI64 marshals host int64s into the scratch buffer.
+func (a *Array) scratchFromI64(vals []int64) armci.Addr {
+	addr := a.env.scratch(len(vals) * elemBytes)
+	b, err := a.env.Rt.LocalBytes(addr, len(vals)*elemBytes)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range vals {
+		i64put(b[8*i:], v)
+	}
+	return addr
+}
+
+// PutI64 writes int64 values over the inclusive range [lo, hi] of an
+// integer array.
+func (a *Array) PutI64(lo, hi []int, vals []int64) error {
+	if a.elem != I64 {
+		return fmt.Errorf("ga: PutI64 on non-integer array %q", a.name)
+	}
+	if err := checkRange(a.dist.Dims, lo, hi); err != nil {
+		return err
+	}
+	if want := a.reqLen(lo, hi); len(vals) != want {
+		return fmt.Errorf("ga: buffer has %d elements, patch needs %d", len(vals), want)
+	}
+	scratch := a.scratchFromI64(vals)
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
+		var err error
+		if s.Levels() == 0 {
+			err = a.env.Rt.Put(s.Src, s.Dst, s.SegBytes())
+		} else {
+			err = a.env.Rt.PutS(s)
+		}
+		if err != nil {
+			return fmt.Errorf("ga: PutI64 %q: %w", a.name, err)
+		}
+	}
+	return nil
+}
+
+// GetI64 reads int64 values over the inclusive range [lo, hi].
+func (a *Array) GetI64(lo, hi []int, vals []int64) error {
+	if a.elem != I64 {
+		return fmt.Errorf("ga: GetI64 on non-integer array %q", a.name)
+	}
+	if err := checkRange(a.dist.Dims, lo, hi); err != nil {
+		return err
+	}
+	if want := a.reqLen(lo, hi); len(vals) != want {
+		return fmt.Errorf("ga: buffer has %d elements, patch needs %d", len(vals), want)
+	}
+	scratch := a.env.scratch(len(vals) * elemBytes)
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, scratch, false)
+		var err error
+		if s.Levels() == 0 {
+			err = a.env.Rt.Get(s.Src, s.Dst, s.SegBytes())
+		} else {
+			err = a.env.Rt.GetS(s)
+		}
+		if err != nil {
+			return fmt.Errorf("ga: GetI64 %q: %w", a.name, err)
+		}
+	}
+	b, err := a.env.Rt.LocalBytes(scratch, len(vals)*elemBytes)
+	if err != nil {
+		return err
+	}
+	for i := range vals {
+		vals[i] = i64get(b[8*i:])
+	}
+	return nil
+}

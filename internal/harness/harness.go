@@ -1,0 +1,136 @@
+// Package harness assembles a complete simulated job: engine, fabric
+// machine, MPI world, and one of the two ARMCI runtimes (native or
+// ARMCI-MPI), mirroring the paper's Figure 1 software stacks. It is the
+// entry point used by tests, benchmarks, examples, and the CLIs.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/dataserver"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/native"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Impl selects the ARMCI implementation under the Global Arrays stack.
+type Impl string
+
+const (
+	// ImplNative is the vendor-tuned baseline (Figure 1a).
+	ImplNative Impl = "native"
+	// ImplARMCIMPI is the paper's contribution (Figure 1b).
+	ImplARMCIMPI Impl = "armci-mpi"
+	// ImplDataServer is the prior two-sided approach the paper's
+	// Related Work contrasts: a per-node data server over MPI
+	// two-sided messaging (SectionIX).
+	ImplDataServer Impl = "armci-ds"
+)
+
+// ParseImpl validates an implementation name from a CLI flag.
+func ParseImpl(s string) (Impl, error) {
+	switch Impl(s) {
+	case ImplNative, ImplARMCIMPI, ImplDataServer:
+		return Impl(s), nil
+	default:
+		return "", fmt.Errorf("harness: unknown ARMCI implementation %q (want native, armci-mpi, or armci-ds)", s)
+	}
+}
+
+// Job is one configured simulated run.
+type Job struct {
+	Eng  *sim.Engine
+	M    *fabric.Machine
+	Plat *platform.Platform
+	Impl Impl
+	Opt  armcimpi.Options
+
+	MpiWorld    *mpi.World
+	NativeWorld *native.World
+	AMWorld     *armcimpi.World
+	DSWorld     *dataserver.World
+}
+
+// NewJob builds the simulation stack for nranks ranks of the platform.
+func NewJob(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options) (*Job, error) {
+	par := plat.Params
+	if impl == ImplDataServer && par.CoresPerNode > 1 {
+		// The data server consumes a core per node (SectionIX): the
+		// remaining ranks share proportionally less compute.
+		par.Flops *= float64(par.CoresPerNode-1) / float64(par.CoresPerNode)
+	}
+	eng := sim.NewEngine()
+	m, err := fabric.NewMachine(eng, par, nranks)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{Eng: eng, M: m, Plat: plat, Impl: impl, Opt: opt}
+	j.MpiWorld = mpi.NewWorld(m, &plat.MPI)
+	if opt.UseMPI3 {
+		j.MpiWorld.EnableMPI3()
+	}
+	switch impl {
+	case ImplNative:
+		j.NativeWorld = native.NewWorld(m, &plat.Native)
+	case ImplARMCIMPI:
+		j.AMWorld = armcimpi.NewWorld(j.MpiWorld)
+	case ImplDataServer:
+		j.DSWorld = dataserver.NewWorld(m, &plat.Native)
+	default:
+		return nil, fmt.Errorf("harness: unknown implementation %q", impl)
+	}
+	return j, nil
+}
+
+// Runtime builds the per-rank ARMCI runtime handle; call from inside a
+// rank body.
+func (j *Job) Runtime(p *sim.Proc) armci.Runtime {
+	r := j.MpiWorld.Rank(p)
+	switch j.Impl {
+	case ImplNative:
+		return native.New(j.NativeWorld, armci.MPIColl{R: r}, p)
+	case ImplDataServer:
+		return dataserver.New(j.DSWorld, armci.MPIColl{R: r}, p)
+	default:
+		return armcimpi.New(j.AMWorld, r, j.Opt)
+	}
+}
+
+// Run executes body on nranks ranks of the platform under the chosen
+// implementation and returns the job for inspection (counters, final
+// virtual time).
+func Run(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options, body func(rt armci.Runtime)) (*Job, error) {
+	j, err := NewJob(plat, nranks, impl, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.Eng.Run(nranks, func(p *sim.Proc) { body(j.Runtime(p)) }); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// TestPlatform returns a small, fast, fully featured platform for unit
+// tests: low latencies keep virtual event counts small, and a nonzero
+// pin cost exercises the registration model.
+func TestPlatform() *platform.Platform {
+	return &platform.Platform{
+		System:       "test",
+		Interconnect: "test-fabric",
+		MPIVersion:   "sim",
+		Params: fabric.Params{
+			Name: "test", Nodes: 64, CoresPerNode: 2,
+			LatencyNs: 1000, Bandwidth: 1e9, MsgOverhead: 100,
+			LocalLatencyNs: 100, LocalBandwidth: 4e9,
+			CopyRate: 4e9, Flops: 1e9,
+			PageSize: 4096, PinPageNs: 0, BounceThreshold: 0,
+			BounceRate: 1e9, UnpinnedRate: 0.5e9, AccumRate: 1e9,
+		},
+		Native: platform.Tuning{BandwidthFrac: 1, OpOverheadNs: 200, RmwRTTs: 1, PrepinAlloc: true},
+		MPI:    platform.Tuning{BandwidthFrac: 0.9, OpOverheadNs: 400},
+	}
+}

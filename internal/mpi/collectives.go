@@ -1,0 +1,236 @@
+package mpi
+
+// Collectives over a communicator. All are implemented with real
+// point-to-point messages so their virtual-time cost reflects the
+// algorithm (dissemination barrier, binomial broadcast, recursive
+// doubling, ring allgather). Tag isolation uses a per-rank collective
+// sequence number: all ranks call collectives on a communicator in the
+// same order, so the sequence numbers agree.
+
+const collTagBase = 1 << 24
+
+// collTag derives the tag for round `round` of the current collective.
+func (c *Comm) collTag(round int) int {
+	return collTagBase | ((c.collSeq & 0x3FFF) << 8) | (round & 0xFF)
+}
+
+// Barrier blocks until all ranks of the communicator have entered it
+// (dissemination algorithm, ceil(log2 n) rounds).
+func (c *Comm) Barrier() {
+	c.collSeq++
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
+		to := (c.rank + k) % n
+		from := (c.rank - k + n) % n
+		c.Send(to, c.collTag(round), nil)
+		c.Recv(from, c.collTag(round))
+	}
+}
+
+// Bcast distributes root's buffer to all ranks (binomial tree) and
+// returns it. Non-root callers pass a buffer of the correct size (its
+// contents are replaced); passing nil is allowed if root's size is
+// unknown, in which case the returned slice carries the data.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.collSeq++
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.rank - root + n) % n
+	tag := c.collTag(0)
+	if vrank != 0 {
+		// Receive from parent.
+		parent := vrank & (vrank - 1) // clear lowest set bit
+		data, _ = c.Recv((parent+root)%n, tag)
+	}
+	// Forward to children: bits above my lowest set bit.
+	for bit := 1; bit < n; bit *= 2 {
+		if vrank&(bit-1) != 0 || vrank&bit != 0 {
+			continue
+		}
+		child := vrank | bit
+		if child < n {
+			c.Send((child+root)%n, tag, data)
+		}
+	}
+	return data
+}
+
+// bcastI64 broadcasts int64s from root.
+func (c *Comm) bcastI64(root int, vals []int64) []int64 {
+	out := c.Bcast(root, i64sToBytes(vals))
+	return bytesToI64s(out)
+}
+
+// BcastI64 broadcasts a vector of int64 from root.
+func (c *Comm) BcastI64(root int, vals []int64) []int64 { return c.bcastI64(root, vals) }
+
+// BcastF64 broadcasts a vector of float64 from root.
+func (c *Comm) BcastF64(root int, vals []float64) []float64 {
+	return bytesToF64s(c.Bcast(root, f64sToBytes(vals)))
+}
+
+// Allgather concatenates every rank's equal-sized contribution in rank
+// order (ring algorithm, n-1 steps).
+func (c *Comm) Allgather(mine []byte) [][]byte {
+	c.collSeq++
+	n := c.Size()
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), mine...)
+	if n == 1 {
+		return out
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := c.rank
+	for step := 0; step < n-1; step++ {
+		tag := c.collTag(step)
+		data, _ := c.Sendrecv(right, tag, out[cur], left, tag)
+		cur = (cur - 1 + n) % n
+		out[cur] = data
+	}
+	return out
+}
+
+// allgatherI64 gathers equal-length int64 vectors, concatenated in
+// rank order.
+func (c *Comm) allgatherI64(mine []int64) []int64 {
+	parts := c.Allgather(i64sToBytes(mine))
+	var out []int64
+	for _, p := range parts {
+		out = append(out, bytesToI64s(p)...)
+	}
+	return out
+}
+
+// AllgatherI64 gathers equal-length int64 vectors in rank order.
+func (c *Comm) AllgatherI64(mine []int64) []int64 { return c.allgatherI64(mine) }
+
+// Gather collects every rank's contribution at root (in rank order);
+// non-root ranks receive nil.
+func (c *Comm) Gather(root int, mine []byte) [][]byte {
+	c.collSeq++
+	tag := c.collTag(0)
+	if c.rank != root {
+		c.Send(root, tag, mine)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), mine...)
+	for i := 0; i < c.Size()-1; i++ {
+		data, st := c.Recv(AnySource, tag)
+		out[st.Source] = data
+	}
+	return out
+}
+
+// AllreduceF64 reduces float64 vectors elementwise across all ranks
+// (recursive doubling for power-of-two sizes, with a fold-in step for
+// the remainder) and returns the result on every rank.
+func (c *Comm) AllreduceF64(op Op, vals []float64) []float64 {
+	c.collSeq++
+	acc := append([]float64(nil), vals...)
+	n := c.Size()
+	if n == 1 {
+		return acc
+	}
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+	tagR := c.collTag(254)
+	// Fold the remainder ranks into their partners.
+	if c.rank >= pow2 {
+		c.Send(c.rank-pow2, tagR, f64sToBytes(acc))
+	} else if c.rank < rem {
+		data, _ := c.Recv(c.rank+pow2, tagR)
+		reduceF64(op, acc, bytesToF64s(data))
+	}
+	if c.rank < pow2 {
+		for k, round := 1, 0; k < pow2; k, round = k*2, round+1 {
+			peer := c.rank ^ k
+			tag := c.collTag(round)
+			data, _ := c.Sendrecv(peer, tag, f64sToBytes(acc), peer, tag)
+			reduceF64(op, acc, bytesToF64s(data))
+		}
+	}
+	// Send results back to the remainder ranks.
+	tagB := c.collTag(255)
+	if c.rank < rem {
+		c.Send(c.rank+pow2, tagB, f64sToBytes(acc))
+	} else if c.rank >= pow2 {
+		data, _ := c.Recv(c.rank-pow2, tagB)
+		acc = bytesToF64s(data)
+	}
+	return acc
+}
+
+// AllreduceI64 reduces int64 vectors elementwise across all ranks.
+func (c *Comm) AllreduceI64(op Op, vals []int64) []int64 {
+	c.collSeq++
+	acc := append([]int64(nil), vals...)
+	n := c.Size()
+	if n == 1 {
+		return acc
+	}
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+	tagR := c.collTag(254)
+	if c.rank >= pow2 {
+		c.Send(c.rank-pow2, tagR, i64sToBytes(acc))
+	} else if c.rank < rem {
+		data, _ := c.Recv(c.rank+pow2, tagR)
+		reduceI64(op, acc, bytesToI64s(data))
+	}
+	if c.rank < pow2 {
+		for k, round := 1, 0; k < pow2; k, round = k*2, round+1 {
+			peer := c.rank ^ k
+			tag := c.collTag(round)
+			data, _ := c.Sendrecv(peer, tag, i64sToBytes(acc), peer, tag)
+			reduceI64(op, acc, bytesToI64s(data))
+		}
+	}
+	tagB := c.collTag(255)
+	if c.rank < rem {
+		c.Send(c.rank+pow2, tagB, i64sToBytes(acc))
+	} else if c.rank >= pow2 {
+		data, _ := c.Recv(c.rank-pow2, tagB)
+		acc = bytesToI64s(data)
+	}
+	return acc
+}
+
+// ReduceF64 reduces to root only (implemented as allreduce cost-wise
+// is unfair; use a binomial gather-reduce).
+func (c *Comm) ReduceF64(root int, op Op, vals []float64) []float64 {
+	c.collSeq++
+	n := c.Size()
+	acc := append([]float64(nil), vals...)
+	if n == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + n) % n
+	tag := c.collTag(0)
+	for bit := 1; bit < n; bit *= 2 {
+		if vrank&bit != 0 {
+			// Send my partial to the parent and exit.
+			c.Send(((vrank^bit)+root)%n, tag, f64sToBytes(acc))
+			return nil
+		}
+		peer := vrank | bit
+		if peer < n {
+			data, _ := c.Recv((peer+root)%n, tag)
+			reduceF64(op, acc, bytesToF64s(data))
+		}
+	}
+	return acc
+}

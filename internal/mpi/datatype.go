@@ -1,0 +1,348 @@
+package mpi
+
+import "fmt"
+
+// Datatype describes a (possibly noncontiguous) byte layout relative to
+// a base address, in the spirit of MPI derived datatypes. All datatypes
+// here are byte-granular: element width is folded into lengths, which
+// keeps the typemap machinery simple while preserving the layout and
+// cost structure (segment counts, pack sizes) that matters to RMA.
+type Datatype interface {
+	// Size is the number of data bytes the type describes.
+	Size() int
+	// Extent is the MPI extent: one past the end of the layout's
+	// footprint, padding included (for a subarray, the whole parent
+	// array). Use Span for the bytes actually touched.
+	Extent() int
+	// Span is one past the highest byte the type actually touches —
+	// MPI's "true extent". Memory access uses Span, never Extent.
+	Span() int
+	// Contig reports whether the type is a single dense run.
+	Contig() bool
+	// NumSegs is the number of contiguous runs.
+	NumSegs() int
+	// Segments calls fn for every contiguous run as (offset, length)
+	// relative to the base address, in ascending offset order for
+	// well-formed types.
+	Segments(fn func(off, n int))
+	// String describes the type for diagnostics.
+	String() string
+}
+
+// contigType is a single dense run of n bytes.
+type contigType struct{ n int }
+
+// TypeContiguous returns a datatype of n contiguous bytes.
+func TypeContiguous(n int) Datatype {
+	if n < 0 {
+		panic("mpi: TypeContiguous with negative length")
+	}
+	return contigType{n: n}
+}
+
+func (t contigType) Size() int    { return t.n }
+func (t contigType) Extent() int  { return t.n }
+func (t contigType) Span() int    { return t.n }
+func (t contigType) Contig() bool { return true }
+func (t contigType) NumSegs() int {
+	if t.n == 0 {
+		return 0
+	}
+	return 1
+}
+func (t contigType) Segments(fn func(o, n int)) {
+	if t.n > 0 {
+		fn(0, t.n)
+	}
+}
+func (t contigType) String() string { return fmt.Sprintf("contig(%dB)", t.n) }
+
+// vectorType is count blocks of blocklen bytes, with stride bytes
+// between block starts.
+type vectorType struct {
+	count, blocklen, stride int
+}
+
+// TypeVector returns a strided datatype: count blocks of blocklen
+// bytes whose starts are stride bytes apart. stride >= blocklen is
+// required so runs do not overlap.
+func TypeVector(count, blocklen, stride int) Datatype {
+	if count < 0 || blocklen < 0 {
+		panic("mpi: TypeVector with negative count/blocklen")
+	}
+	if count > 1 && stride < blocklen {
+		panic("mpi: TypeVector with overlapping blocks")
+	}
+	if count <= 1 || blocklen == 0 {
+		return contigType{n: count * blocklen}
+	}
+	if stride == blocklen {
+		return contigType{n: count * blocklen}
+	}
+	return vectorType{count: count, blocklen: blocklen, stride: stride}
+}
+
+func (t vectorType) Size() int    { return t.count * t.blocklen }
+func (t vectorType) Extent() int  { return (t.count-1)*t.stride + t.blocklen }
+func (t vectorType) Span() int    { return (t.count-1)*t.stride + t.blocklen }
+func (t vectorType) Contig() bool { return false }
+func (t vectorType) NumSegs() int { return t.count }
+func (t vectorType) Segments(fn func(o, n int)) {
+	for i := 0; i < t.count; i++ {
+		fn(i*t.stride, t.blocklen)
+	}
+}
+func (t vectorType) String() string {
+	return fmt.Sprintf("vector(%dx%dB/%d)", t.count, t.blocklen, t.stride)
+}
+
+// indexedType is an explicit list of (displacement, length) runs —
+// MPI_Type_indexed with byte displacements (hindexed).
+type indexedType struct {
+	offs, lens []int
+	size, ext  int
+	contig     bool
+}
+
+// TypeIndexed returns a datatype with explicit byte displacements and
+// block lengths. The lists must have equal length. Runs need not be
+// sorted but must not overlap; overlap is not checked here (MPI
+// declares communication with overlapping target runs erroneous, and
+// the RMA layer detects it when checking is enabled).
+func TypeIndexed(offs, lens []int) Datatype {
+	if len(offs) != len(lens) {
+		panic("mpi: TypeIndexed length mismatch")
+	}
+	t := indexedType{offs: append([]int(nil), offs...), lens: append([]int(nil), lens...)}
+	lo, hi := 0, 0
+	first := true
+	for i, n := range t.lens {
+		if n < 0 {
+			panic("mpi: TypeIndexed with negative block length")
+		}
+		if n == 0 {
+			continue
+		}
+		t.size += n
+		o := t.offs[i]
+		if first || o < lo {
+			lo = o
+		}
+		if first || o+n > hi {
+			hi = o + n
+		}
+		first = false
+	}
+	if first {
+		return contigType{n: 0}
+	}
+	if lo < 0 {
+		panic("mpi: TypeIndexed with negative displacement")
+	}
+	// Extent is measured from the base address (offset 0), so a type
+	// whose first run starts at a positive displacement still spans it.
+	t.ext = hi
+	t.contig = t.size == t.ext && lo == 0 && contiguousRuns(t.offs, t.lens)
+	if t.contig {
+		return contigType{n: t.size}
+	}
+	return t
+}
+
+func contiguousRuns(offs, lens []int) bool {
+	next := -1
+	for i := range offs {
+		if lens[i] == 0 {
+			continue
+		}
+		if next >= 0 && offs[i] != next {
+			return false
+		}
+		if next < 0 && offs[i] != 0 {
+			return false
+		}
+		next = offs[i] + lens[i]
+	}
+	return true
+}
+
+func (t indexedType) Size() int    { return t.size }
+func (t indexedType) Extent() int  { return t.ext }
+func (t indexedType) Span() int    { return t.ext }
+func (t indexedType) Contig() bool { return false }
+func (t indexedType) NumSegs() int {
+	n := 0
+	for _, l := range t.lens {
+		if l > 0 {
+			n++
+		}
+	}
+	return n
+}
+func (t indexedType) Segments(fn func(o, n int)) {
+	for i := range t.offs {
+		if t.lens[i] > 0 {
+			fn(t.offs[i], t.lens[i])
+		}
+	}
+}
+func (t indexedType) String() string {
+	return fmt.Sprintf("indexed(%d segs, %dB)", t.NumSegs(), t.size)
+}
+
+// subarrayType selects an n-dimensional subarray out of a larger array,
+// in C (row-major) order, with elem bytes per element.
+type subarrayType struct {
+	sizes, subsizes, starts []int
+	elem                    int
+	size                    int
+}
+
+// TypeSubarray returns an MPI_Type_create_subarray-style datatype in C
+// order: sizes are the full array dimensions (outermost first),
+// subsizes the selected block, starts the per-dimension origin, and
+// elem the element size in bytes.
+func TypeSubarray(sizes, subsizes, starts []int, elem int) Datatype {
+	nd := len(sizes)
+	if len(subsizes) != nd || len(starts) != nd {
+		panic("mpi: TypeSubarray dimension mismatch")
+	}
+	if elem <= 0 {
+		panic("mpi: TypeSubarray with non-positive element size")
+	}
+	size := elem
+	for d := 0; d < nd; d++ {
+		if subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("mpi: TypeSubarray dim %d out of bounds: size=%d sub=%d start=%d",
+				d, sizes[d], subsizes[d], starts[d]))
+		}
+		size *= subsizes[d]
+	}
+	if nd == 0 {
+		return contigType{n: elem}
+	}
+	t := subarrayType{
+		sizes:    append([]int(nil), sizes...),
+		subsizes: append([]int(nil), subsizes...),
+		starts:   append([]int(nil), starts...),
+		elem:     elem,
+		size:     size,
+	}
+	// Collapse to contiguous when the subarray is dense in memory.
+	if t.NumSegs() <= 1 {
+		off, n := t.onlySegment()
+		if off == 0 {
+			return contigType{n: n}
+		}
+		return TypeIndexed([]int{off}, []int{n})
+	}
+	return t
+}
+
+func (t subarrayType) Size() int { return t.size }
+
+// Span is the last touched byte + 1: the offset of the final segment
+// plus its run length.
+func (t subarrayType) Span() int {
+	span := 0
+	t.Segments(func(o, n int) {
+		if o+n > span {
+			span = o + n
+		}
+	})
+	return span
+}
+func (t subarrayType) Extent() int {
+	ext := t.elem
+	for _, s := range t.sizes {
+		ext *= s
+	}
+	return ext
+}
+func (t subarrayType) Contig() bool { return false }
+
+// rowRun returns the length in bytes of one innermost contiguous run
+// and the number of such runs.
+func (t subarrayType) rowRun() (runBytes, runs int) {
+	nd := len(t.sizes)
+	runBytes = t.subsizes[nd-1] * t.elem
+	// Fold trailing dimensions that are fully selected into the run.
+	d := nd - 1
+	for d > 0 && t.subsizes[d] == t.sizes[d] && t.starts[d] == 0 {
+		d--
+		runBytes = t.subsizes[d] * rowStride(t.sizes, d+1) * t.elem
+	}
+	runs = 1
+	for i := 0; i < d; i++ {
+		runs *= t.subsizes[i]
+	}
+	return runBytes, runs
+}
+
+func rowStride(sizes []int, from int) int {
+	s := 1
+	for i := from; i < len(sizes); i++ {
+		s *= sizes[i]
+	}
+	return s
+}
+
+func (t subarrayType) NumSegs() int {
+	if t.size == 0 {
+		return 0
+	}
+	_, runs := t.rowRun()
+	return runs
+}
+
+func (t subarrayType) onlySegment() (off, n int) {
+	got := false
+	t.Segments(func(o, l int) {
+		if !got {
+			off, n = o, l
+			got = true
+		} else {
+			n += l // only called when NumSegs()<=1, so this is unreachable
+		}
+	})
+	return off, n
+}
+
+func (t subarrayType) Segments(fn func(o, n int)) {
+	if t.size == 0 {
+		return
+	}
+	nd := len(t.sizes)
+	runBytes, _ := t.rowRun()
+	// Determine how many leading dims we iterate (those not folded
+	// into the run).
+	d := nd - 1
+	for d > 0 && t.subsizes[d] == t.sizes[d] && t.starts[d] == 0 {
+		d--
+	}
+	idx := make([]int, d)
+	for {
+		off := 0
+		for i := 0; i < d; i++ {
+			off += (t.starts[i] + idx[i]) * rowStride(t.sizes, i+1)
+		}
+		off += t.starts[d] * rowStride(t.sizes, d+1)
+		fn(off*t.elem, runBytes)
+		// Odometer increment over the leading dims.
+		i := d - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < t.subsizes[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+func (t subarrayType) String() string {
+	return fmt.Sprintf("subarray(%v of %v @%v, elem=%dB)", t.subsizes, t.sizes, t.starts, t.elem)
+}

@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Active-target synchronization (SectionIII): MPI_Win_fence separates
+// collective access epochs in which every rank may issue RMA to every
+// other without locks. The paper's ARMCI-MPI cannot use this mode —
+// active-target synchronization requires the target's participation,
+// which breaks ARMCI's asynchronous one-sided model — but it completes
+// the MPI RMA surface and lets tests contrast the two modes.
+
+// FenceSync is MPI_Win_fence: collective over the window's
+// communicator. The first call opens an active access epoch; each
+// subsequent call completes all operations issued since the previous
+// fence (locally and remotely) and opens the next epoch. Active epochs
+// cannot be mixed with passive-target locks or lock-all.
+func (w *Win) FenceSync() error {
+	if w.cur != nil {
+		return fmt.Errorf("mpi: Win_fence while a passive epoch is open on target %d", w.cur.target)
+	}
+	if w.all != nil {
+		return fmt.Errorf("mpi: Win_fence while in lock-all mode")
+	}
+	r := w.comm.r
+	r.opOverhead()
+	// Complete everything issued in the closing epoch.
+	var last sim.Time
+	for _, ep := range w.fenceEps {
+		for {
+			horizon := ep.completeAt
+			if horizon <= last && horizon <= r.P.Now() {
+				break
+			}
+			r.W.M.SleepUntil(r.P, horizon)
+			if ep.completeAt <= horizon {
+				break
+			}
+		}
+		if ep.completeAt > last {
+			last = ep.completeAt
+		}
+	}
+	r.W.M.SleepUntil(r.P, last)
+	w.fenceEps = nil
+	// The fence is collective: no rank enters the next epoch until all
+	// have completed the previous one.
+	w.comm.Barrier()
+	w.fenced = true
+	return w.state.err
+}
+
+// FenceExit leaves active-target mode (a final MPI_Win_fence with
+// MPI_MODE_NOSUCCEED); collective.
+func (w *Win) FenceExit() error {
+	if err := w.FenceSync(); err != nil {
+		return err
+	}
+	w.fenced = false
+	return nil
+}
+
+// fenceEpoch returns the per-target accounting epoch of the current
+// active access epoch, creating it on demand.
+func (w *Win) fenceEpoch(target int) *epoch {
+	if w.fenceEps == nil {
+		w.fenceEps = map[int]*epoch{}
+	}
+	ep := w.fenceEps[target]
+	if ep == nil {
+		// Conflict rules within an active epoch match passive mode:
+		// overlapping updates from one origin are erroneous, so the
+		// epoch is not relaxed.
+		ep = &epoch{target: target, ltype: LockShared, completeAt: w.comm.r.P.Now()}
+		w.fenceEps[target] = ep
+		w.comm.r.W.Epochs++
+	}
+	return ep
+}
+
+// FPut is a put inside an active (fence) epoch.
+func (w *Win) FPut(buf LocalBuf, target, tdisp int, ttype Datatype) error {
+	if !w.fenced {
+		return fmt.Errorf("mpi: FPut outside an active fence epoch")
+	}
+	before := w.cur
+	w.cur = w.fenceEpoch(target)
+	err := w.Put(buf, target, tdisp, ttype)
+	w.cur = before
+	return err
+}
+
+// FGet is a get inside an active (fence) epoch; the data is guaranteed
+// only after the closing FenceSync.
+func (w *Win) FGet(buf LocalBuf, target, tdisp int, ttype Datatype) error {
+	if !w.fenced {
+		return fmt.Errorf("mpi: FGet outside an active fence epoch")
+	}
+	before := w.cur
+	w.cur = w.fenceEpoch(target)
+	err := w.Get(buf, target, tdisp, ttype)
+	w.cur = before
+	return err
+}
+
+// FAccumulate is an accumulate inside an active (fence) epoch.
+func (w *Win) FAccumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype) error {
+	if !w.fenced {
+		return fmt.Errorf("mpi: FAccumulate outside an active fence epoch")
+	}
+	before := w.cur
+	w.cur = w.fenceEpoch(target)
+	err := w.Accumulate(buf, op, target, tdisp, ttype)
+	w.cur = before
+	return err
+}

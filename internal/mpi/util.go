@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Byte-level codecs for the typed collectives. The simulation charges
+// time by byte count, so the encoding itself is just a convenience for
+// moving typed data through []byte messages.
+
+func i64sToBytes(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func bytesToI64s(b []byte) []int64 {
+	xs := make([]int64, len(b)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+func f64sToBytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func bytesToF64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// F64sToBytes encodes float64s little-endian (exported for layers that
+// move typed data through byte buffers).
+func F64sToBytes(xs []float64) []byte { return f64sToBytes(xs) }
+
+// BytesToF64s decodes float64s little-endian.
+func BytesToF64s(b []byte) []float64 { return bytesToF64s(b) }
+
+// I64sToBytes encodes int64s little-endian.
+func I64sToBytes(xs []int64) []byte { return i64sToBytes(xs) }
+
+// BytesToI64s decodes int64s little-endian.
+func BytesToI64s(b []byte) []int64 { return bytesToI64s(b) }
+
+func reduceF64(op Op, dst, src []float64) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		case OpMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case OpProd:
+			dst[i] *= src[i]
+		case OpReplace:
+			dst[i] = src[i]
+		default:
+			panic("mpi: unsupported float64 reduction op " + op.String())
+		}
+	}
+}
+
+func reduceI64(op Op, dst, src []int64) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		case OpMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case OpProd:
+			dst[i] *= src[i]
+		case OpBOR:
+			dst[i] |= src[i]
+		case OpReplace:
+			dst[i] = src[i]
+		default:
+			panic("mpi: unsupported int64 reduction op " + op.String())
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package native
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Fence blocks until all operations this process issued to proc have
+// completed remotely.
+func (r *Runtime) Fence(proc int) {
+	r.w.M.SleepUntil(r.p, r.w.lastRemote[r.Rank()][proc])
+}
+
+// AllFence fences every target.
+func (r *Runtime) AllFence() {
+	var last sim.Time
+	for _, t := range r.w.lastRemote[r.Rank()] {
+		if t > last {
+			last = t
+		}
+	}
+	r.w.M.SleepUntil(r.p, last)
+}
+
+// Barrier fences all communication and synchronizes all processes.
+func (r *Runtime) Barrier() {
+	r.AllFence()
+	r.coll.Barrier()
+}
+
+const amoProcessNs = 90 // NIC-side atomic execution
+
+// Rmw performs an atomic read-modify-write using the NIC's native
+// atomics: a single network round trip.
+func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, error) {
+	if addr.Nil() {
+		return 0, fmt.Errorf("native: Rmw on NULL address")
+	}
+	r.opCost()
+	reg, err := r.region(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	m := r.w.M
+	eng := m.Eng
+	p := r.p
+	me := r.Rank()
+	var old int64
+	done := false
+	arrive := m.SendDataAsync(me, addr.Rank, 0, fabric.XferOpt{NoNIC: true})
+	va := addr.VA
+	eng.At(arrive, func() {
+		start := eng.Now()
+		if b := r.w.agentBusy[addr.Rank]; b > start {
+			start = b
+		}
+		fin := start + sim.Time(amoProcessNs)
+		r.w.agentBusy[addr.Rank] = fin
+		eng.At(fin, func() {
+			b := reg.Bytes(va, 8)
+			old = int64(binary.LittleEndian.Uint64(b))
+			switch op {
+			case armci.FetchAndAdd:
+				binary.LittleEndian.PutUint64(b, uint64(old+operand))
+			case armci.Swap:
+				binary.LittleEndian.PutUint64(b, uint64(operand))
+			}
+			back := m.SendDataAsync(addr.Rank, me, 0, fabric.XferOpt{NoNIC: true})
+			eng.At(back, func() {
+				done = true
+				eng.Unpark(p)
+			})
+		})
+	})
+	for !done {
+		p.Park("native.Rmw")
+	}
+	return old, nil
+}
+
+// mutexHost is the target-side state of one native mutex set.
+type mutexHost struct {
+	id     int
+	counts []int // mutexes hosted per rank
+	// state[rank][idx]
+	held  map[[2]int]bool
+	queue map[[2]int][]*mutexWaiter
+}
+
+type mutexWaiter struct {
+	p   *sim.Proc
+	got bool
+	eng *sim.Engine
+}
+
+func (w *mutexWaiter) grant() {
+	w.got = true
+	w.eng.Unpark(w.p)
+}
+
+// mutexSet is the per-rank handle.
+type mutexSet struct {
+	r    *Runtime
+	host *mutexHost
+}
+
+// CreateMutexes collectively creates n mutexes hosted on the calling
+// process (native implementation: CHT-serviced queues at the host).
+func (r *Runtime) CreateMutexes(n int) (armci.Mutexes, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("native: CreateMutexes(%d)", n)
+	}
+	counts := r.coll.AllgatherI64([]int64{int64(n)})
+	h := &mutexHost{
+		id:     len(r.w.mutexes),
+		counts: make([]int, len(counts)),
+		held:   map[[2]int]bool{},
+		queue:  map[[2]int][]*mutexWaiter{},
+	}
+	for i, c := range counts {
+		h.counts[i] = int(c)
+	}
+	if r.Rank() == 0 {
+		r.w.mutexes = append(r.w.mutexes, h)
+	} else {
+		// All ranks computed identical hosts; adopt rank 0's instance.
+		h = nil
+	}
+	r.coll.Barrier()
+	if h == nil {
+		h = r.w.mutexes[len(r.w.mutexes)-1]
+	}
+	return &mutexSet{r: r, host: h}, nil
+}
+
+// Lock acquires mutex mtx hosted on proc, blocking in a host-side FIFO.
+func (s *mutexSet) Lock(mtx, proc int) {
+	r := s.r
+	if mtx < 0 || mtx >= s.host.counts[proc] {
+		panic(fmt.Sprintf("native: Lock(%d,%d): host has %d mutexes", mtx, proc, s.host.counts[proc]))
+	}
+	r.opCost()
+	m := r.w.M
+	eng := m.Eng
+	key := [2]int{proc, mtx}
+	w := &mutexWaiter{p: r.p, eng: eng}
+	arrive := m.SendDataAsync(r.Rank(), proc, 0, fabric.XferOpt{NoNIC: true})
+	me := r.Rank()
+	eng.At(arrive, func() {
+		if !s.host.held[key] {
+			s.host.held[key] = true
+			back := m.SendDataAsync(proc, me, 0, fabric.XferOpt{NoNIC: true})
+			eng.At(back, w.grant)
+		} else {
+			s.host.queue[key] = append(s.host.queue[key], w)
+		}
+	})
+	for !w.got {
+		r.p.Park("native.MutexLock")
+	}
+}
+
+// Unlock releases mutex mtx on proc, forwarding to the next waiter.
+func (s *mutexSet) Unlock(mtx, proc int) {
+	r := s.r
+	r.opCost()
+	m := r.w.M
+	eng := m.Eng
+	key := [2]int{proc, mtx}
+	arrive := m.SendDataAsync(r.Rank(), proc, 0, fabric.XferOpt{NoNIC: true})
+	eng.At(arrive, func() {
+		q := s.host.queue[key]
+		if len(q) == 0 {
+			s.host.held[key] = false
+			return
+		}
+		next := q[0]
+		s.host.queue[key] = q[1:]
+		// Lock stays held; ownership forwards to the next waiter.
+		back := m.SendDataAsync(proc, next.p.ID(), 0, fabric.XferOpt{NoNIC: true})
+		eng.At(back, next.grant)
+	})
+}
+
+// Destroy collectively frees the mutex set.
+func (s *mutexSet) Destroy() error {
+	s.r.coll.Barrier()
+	for i, h := range s.r.w.mutexes {
+		if h == s.host {
+			if s.r.Rank() == 0 {
+				s.r.w.mutexes = append(s.r.w.mutexes[:i], s.r.w.mutexes[i+1:]...)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// AccessBegin grants direct load/store access to local global memory.
+// Native ARMCI on cache-coherent platforms allows this without
+// synchronization; the call exists for API parity with the DLA
+// extension (SectionVIII.A).
+func (r *Runtime) AccessBegin(addr armci.Addr, n int) ([]byte, error) {
+	if addr.Rank != r.Rank() {
+		return nil, fmt.Errorf("native: AccessBegin on remote address %v", addr)
+	}
+	reg, err := r.region(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	r.dla[addr.VA] = true
+	return reg.Bytes(addr.VA, n), nil
+}
+
+// AccessEnd completes a direct access section.
+func (r *Runtime) AccessEnd(addr armci.Addr) error {
+	if !r.dla[addr.VA] {
+		return fmt.Errorf("native: AccessEnd without AccessBegin at %v", addr)
+	}
+	delete(r.dla, addr.VA)
+	return nil
+}
+
+// SetAccessMode accepts the SectionVIII.A hint; the native runtime on
+// cache-coherent hardware has nothing to relax, so it only synchronizes.
+func (r *Runtime) SetAccessMode(mode armci.AccessMode, addr armci.Addr) error {
+	r.AllFence()
+	r.coll.Barrier()
+	return nil
+}
+
+// GroupCreateCollective creates a processor group; all world processes
+// call. Non-members receive nil.
+func (r *Runtime) GroupCreateCollective(members []int) (*armci.Group, error) {
+	ms := sortedUnique(members)
+	impl := r.coll.GroupComm(ms, true)
+	if impl == nil {
+		return nil, nil
+	}
+	return &armci.Group{Ranks: ms, Impl: impl}, nil
+}
+
+// GroupCreate creates a processor group noncollectively: only members
+// call (SectionIV's noncollective group creation).
+func (r *Runtime) GroupCreate(members []int) (*armci.Group, error) {
+	ms := sortedUnique(members)
+	impl := r.coll.GroupComm(ms, false)
+	return &armci.Group{Ranks: ms, Impl: impl}, nil
+}
+
+func sortedUnique(members []int) []int {
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	out := ms[:0]
+	for i, v := range ms {
+		if i == 0 || v != ms[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LocalBytes exposes local buffer memory on the calling process.
+func (r *Runtime) LocalBytes(addr armci.Addr, n int) ([]byte, error) {
+	if addr.Rank != r.Rank() {
+		return nil, fmt.Errorf("native: LocalBytes on remote address %v", addr)
+	}
+	reg, err := r.region(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return reg.Bytes(addr.VA, n), nil
+}

@@ -1,0 +1,224 @@
+package native_test
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// The tests live in package native_test (the harness imports native,
+// so an internal test package would create an import cycle).
+
+// runNative executes body on n ranks of the test platform under the
+// native runtime.
+func runNative(t *testing.T, n int, body func(rt armci.Runtime)) *harness.Job {
+	t.Helper()
+	j, err := harness.NewJob(harness.TestPlatform(), n, harness.ImplNative, armcimpi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Eng.Run(n, func(p *sim.Proc) { body(j.Runtime(p)) }); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutIsPipelinedUntilFence(t *testing.T) {
+	// Native puts complete locally: issuing k large puts back to back
+	// takes far less time than the fenced total, demonstrating the
+	// pipelining that ARMCI-MPI's per-op epochs cannot do.
+	runNative(t, 2, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(8 << 20)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(1 << 20)
+			start := rt.Proc().Now()
+			for i := 0; i < 8; i++ {
+				must(t, rt.Put(src, addrs[1].Add(i<<20), 1<<20))
+			}
+			issued := rt.Proc().Now() - start
+			rt.Fence(1)
+			fenced := rt.Proc().Now() - start
+			if issued*4 > fenced {
+				t.Errorf("puts blocked at issue: issued=%v fenced=%v", issued, fenced)
+			}
+			if fenced < issued {
+				t.Error("fence did not wait for remote completion")
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestFenceOnlyWaitsForNamedTarget(t *testing.T) {
+	runNative(t, 3, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(4 << 20)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(4 << 20)
+			// Slow transfer to 1, nothing to 2: fencing 2 is free.
+			must(t, rt.Put(src, addrs[1], 4<<20))
+			before := rt.Proc().Now()
+			rt.Fence(2)
+			if rt.Proc().Now() != before {
+				t.Error("fence of an idle target advanced time")
+			}
+			rt.Fence(1)
+			if rt.Proc().Now() == before {
+				t.Error("fence of the busy target was free")
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestNbGetOverlapsCompute(t *testing.T) {
+	runNative(t, 2, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(4 << 20)
+		must(t, err)
+		if rt.Rank() == 0 {
+			dst := rt.MallocLocal(4 << 20)
+			// Time blocking get.
+			start := rt.Proc().Now()
+			must(t, rt.Get(addrs[1], dst, 4<<20))
+			blocking := rt.Proc().Now() - start
+			// Overlap the same get with equal-length compute.
+			start = rt.Proc().Now()
+			h, err := rt.NbGet(addrs[1], dst, 4<<20)
+			must(t, err)
+			rt.Proc().Elapse(blocking)
+			h.Wait()
+			overlapped := rt.Proc().Now() - start
+			if overlapped > blocking+blocking/4 {
+				t.Errorf("nbget did not overlap: blocking=%v overlapped=%v", blocking, overlapped)
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestNativeStridedPipelineCost(t *testing.T) {
+	// The tuned strided path sends one pipelined transfer: many small
+	// segments must cost far less than per-segment round trips would.
+	runNative(t, 2, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(1 << 20)
+		must(t, err)
+		if rt.Rank() == 0 {
+			local := rt.MallocLocal(1 << 19)
+			s := &armci.Strided{
+				Src: local, Dst: addrs[1],
+				SrcStride: []int{64}, DstStride: []int{128},
+				Count: []int{64, 512},
+			}
+			start := rt.Proc().Now()
+			must(t, rt.PutS(s))
+			rt.Fence(1)
+			elapsed := rt.Proc().Now() - start
+			// 512 segments x a 2.2us round trip would be >1.1ms; the
+			// pipeline should be far below that.
+			if elapsed > 600*sim.Microsecond {
+				t.Errorf("strided pipeline took %v; looks like per-segment round trips", elapsed)
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestAccumulateAgentSerializes(t *testing.T) {
+	// Concurrent accumulates to one target are applied by a serial
+	// agent: the total time grows with the contender count.
+	timeFor := func(contenders int) sim.Time {
+		j := runNative(t, contenders+1, func(rt armci.Runtime) {
+			addrs, err := rt.Malloc(1 << 20)
+			must(t, err)
+			if rt.Rank() > 0 {
+				src := rt.MallocLocal(1 << 20)
+				must(t, rt.Acc(armci.AccDbl, 1, src, addrs[0], 1<<20))
+				rt.Fence(0)
+			}
+			rt.Barrier()
+			must(t, rt.Free(addrs[rt.Rank()]))
+		})
+		return j.Eng.Stats().FinalTime
+	}
+	if t1, t4 := timeFor(1), timeFor(4); float64(t4) < 2*float64(t1) {
+		t.Errorf("4 concurrent accumulates (%v) should take >2x one (%v)", t4, t1)
+	}
+}
+
+func TestRegionErrors(t *testing.T) {
+	runNative(t, 2, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(64)
+		must(t, err)
+		if rt.Rank() == 0 {
+			remote := rt.MallocLocal(8) // actually local, used as bogus remote src
+			if err := rt.Put(armci.Addr{Rank: 1, VA: remote.VA + 1<<30}, addrs[1], 8); err == nil {
+				t.Error("put from remote-rank source address accepted")
+			}
+			if _, err := rt.LocalBytes(addrs[1], 8); err == nil {
+				t.Error("LocalBytes of remote address accepted")
+			}
+			if err := rt.FreeLocal(addrs[1]); err == nil {
+				t.Error("FreeLocal of remote address accepted")
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestMutexFIFOUnderContention(t *testing.T) {
+	const n = 5
+	var order []int
+	runNative(t, n, func(rt armci.Runtime) {
+		mux, err := rt.CreateMutexes(1)
+		must(t, err)
+		// Stagger arrivals so the queue order is deterministic.
+		rt.Proc().Elapse(sim.Time(rt.Rank()*10) * sim.Microsecond)
+		mux.Lock(0, 2)
+		order = append(order, rt.Rank())
+		rt.Proc().Elapse(100 * sim.Microsecond)
+		mux.Unlock(0, 2)
+		rt.Barrier()
+		must(t, mux.Destroy())
+	})
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Errorf("mutex grant order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestGroupOpsNative(t *testing.T) {
+	runNative(t, 6, func(rt armci.Runtime) {
+		g, err := rt.GroupCreateCollective([]int{0, 2, 4})
+		must(t, err)
+		if g == nil {
+			rt.Barrier()
+			return
+		}
+		addrs, err := rt.MallocGroup(g, 128)
+		must(t, err)
+		if rt.Rank() == 4 {
+			src := rt.MallocLocal(16)
+			must(t, rt.Put(src, addrs[0], 16))
+			rt.Fence(0)
+		}
+		must(t, rt.FreeGroup(g, addrs[g.RankOf(rt.Rank())]))
+		rt.Barrier()
+	})
+}

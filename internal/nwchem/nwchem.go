@@ -1,0 +1,222 @@
+// Package nwchem implements a computational-chemistry proxy
+// application reproducing the communication structure of NWChem's
+// CCSD(T) coupled-cluster kernels over Global Arrays (paper SectionII.A
+// and SectionVII.C/D): block-sparse tensor contractions expressed as
+// get -> local DGEMM -> accumulate over distributed arrays, with
+// dynamic load balancing through the shared NXTVAL counter
+// (GA_Read_inc), and a get- and compute-dominated perturbative triples
+// phase.
+//
+// The chemistry is synthetic — deterministic pseudo-amplitudes instead
+// of molecular integrals — but the runtime-visible behaviour (message
+// sizes, operation mix, counter contention, flop/byte ratios as
+// functions of no and nv) follows the CCSD(T) cost model
+// O(no^2 nv^4) for CCSD iterations and O(no^3 nv^4) for (T).
+package nwchem
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/ga"
+	"repro/internal/sim"
+)
+
+// Params sizes the calculation. The paper's w5 system has NO=20,
+// NV=435 (SectionVII.C); tests and simulations use scaled versions
+// with the same shape.
+type Params struct {
+	NO   int // correlated occupied orbitals
+	NV   int // virtual orbitals
+	Blk  int // column-block size of the ab/cd superindex tiling
+	Iter int // CCSD iterations
+	// Chunk is the number of tasks claimed per NXTVAL draw (real
+	// NWChem's tasks are coarse enough that counter traffic is
+	// amortized; chunking models that granularity). 0 or 1 = one task
+	// per draw.
+	Chunk int
+	// FlopMult scales the virtual flops charged per contraction
+	// without changing the data movement, standing in for the much
+	// larger per-task arithmetic of the real CCSD(T) kernels relative
+	// to the scaled-down array sizes the simulation can hold. 0 = 1.
+	FlopMult float64
+	// Numeric computes the contractions for real so results can be
+	// verified against a serial reference; benchmarks leave it false
+	// and only charge virtual flops (the data still moves).
+	Numeric bool
+}
+
+// W5Scaled returns parameters shaped like the paper's water-pentamer
+// benchmark, scaled down by the given factor (1 = full w5: no=20,
+// nv=435 — far too large to simulate; typical scales are 8-16).
+func W5Scaled(scale int) Params {
+	if scale < 1 {
+		scale = 1
+	}
+	no := 20 / min(scale, 5)
+	if no < 2 {
+		no = 2
+	}
+	nv := 435 / scale
+	if nv < 8 {
+		nv = 8
+	}
+	blk := nv * nv / 8
+	if blk < 16 {
+		blk = 16
+	}
+	return Params{NO: no, NV: nv, Blk: blk, Iter: 2}
+}
+
+// Validate reports the first problem with the parameters.
+func (p *Params) Validate() error {
+	switch {
+	case p.NO < 1 || p.NV < 1:
+		return fmt.Errorf("nwchem: need NO,NV >= 1 (got %d,%d)", p.NO, p.NV)
+	case p.Blk < 1:
+		return fmt.Errorf("nwchem: block size %d", p.Blk)
+	case p.Iter < 1:
+		return fmt.Errorf("nwchem: iterations %d", p.Iter)
+	}
+	return nil
+}
+
+// dims of the matricized tensors.
+func (p *Params) oo() int { return p.NO * p.NO }
+func (p *Params) vv() int { return p.NV * p.NV }
+
+// nblocks returns the number of column blocks of the vv superindex.
+func (p *Params) nblocks() int { return (p.vv() + p.Blk - 1) / p.Blk }
+
+// blockRange returns the inclusive column range of block b.
+func (p *Params) blockRange(b int) (lo, hi int) {
+	lo = b * p.Blk
+	hi = lo + p.Blk - 1
+	if hi >= p.vv() {
+		hi = p.vv() - 1
+	}
+	return lo, hi
+}
+
+// Result reports one phase's outcome.
+type Result struct {
+	Energy  float64  // synthetic correlation-energy functional
+	Tasks   int      // tasks this process executed (load balance)
+	Flops   float64  // virtual flops this process charged
+	Elapsed sim.Time // virtual wall time of the phase (max over ranks is taken by the caller)
+}
+
+// amplitude is the synthetic initial guess: a smooth deterministic
+// function of the global indices, so every rank fills its own block
+// without communication and a serial reference can recompute it.
+func amplitude(row, col int) float64 {
+	x := float64((row*31+col*17)%97) / 97.0
+	return 0.05 + 0.9*x*x - 0.4*x
+}
+
+// integral is the synthetic two-electron integral matrix V[cd,ab].
+func integral(row, col int) float64 {
+	x := float64((row*13+col*29)%89) / 89.0
+	return 0.3 - x*0.6 + 0.1*x*x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fillMatrix initializes a 2-D global array from f(row, col), each
+// rank writing its own block through direct local access.
+func fillMatrix(a *ga.Array, f func(r, c int) float64) error {
+	blk, err := a.Access()
+	if err != nil {
+		return nil // ranks without a block have nothing to fill
+	}
+	d := blk.Dims()
+	for i := 0; i < d[0]; i++ {
+		for j := 0; j < d[1]; j++ {
+			blk.SetF64(f(blk.Lo[0]+i, blk.Lo[1]+j), i, j)
+		}
+	}
+	return blk.Release()
+}
+
+// System bundles the global arrays of one CCSD(T) calculation.
+type System struct {
+	P   Params
+	Env *ga.Env
+	M   *fabric.Machine
+
+	T2      *ga.Array // amplitudes, (no*no) x (nv*nv)
+	V       *ga.Array // integrals, (nv*nv) x (nv*nv)
+	R       *ga.Array // residual, (no*no) x (nv*nv)
+	Counter *ga.Array // NXTVAL dynamic load-balancing counter
+}
+
+// Setup collectively creates and initializes the arrays.
+func Setup(e *ga.Env, m *fabric.Machine, p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{P: p, Env: e, M: m}
+	var err error
+	if s.T2, err = e.Create("t2", ga.F64, []int{p.oo(), p.vv()}); err != nil {
+		return nil, err
+	}
+	if s.V, err = e.Create("v2", ga.F64, []int{p.vv(), p.vv()}); err != nil {
+		return nil, err
+	}
+	if s.R, err = e.Create("resid", ga.F64, []int{p.oo(), p.vv()}); err != nil {
+		return nil, err
+	}
+	if s.Counter, err = e.Create("nxtval", ga.I64, []int{1}); err != nil {
+		return nil, err
+	}
+	if err := fillMatrix(s.T2, amplitude); err != nil {
+		return nil, err
+	}
+	if err := fillMatrix(s.V, integral); err != nil {
+		return nil, err
+	}
+	e.Sync()
+	return s, nil
+}
+
+// Teardown collectively destroys the arrays.
+func (s *System) Teardown() error {
+	for _, a := range []*ga.Array{s.T2, s.V, s.R, s.Counter} {
+		if err := a.Destroy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunk returns the task-claim granularity.
+func (p *Params) chunk() int64 {
+	if p.Chunk < 1 {
+		return 1
+	}
+	return int64(p.Chunk)
+}
+
+// flopMult returns the arithmetic-intensity multiplier.
+func (p *Params) flopMult() float64 {
+	if p.FlopMult <= 0 {
+		return 1
+	}
+	return p.FlopMult
+}
+
+// nextTasks draws a chunk of task ids [t, t+chunk) from the NXTVAL
+// counter.
+func (s *System) nextTasks() (int64, error) {
+	return s.Counter.ReadInc([]int{0}, s.P.chunk())
+}
+
+// resetCounter collectively rewinds the NXTVAL counter.
+func (s *System) resetCounter() error {
+	return s.Counter.FillI64(0)
+}

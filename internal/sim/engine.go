@@ -1,0 +1,327 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// in which "ranks" (processes of a simulated parallel machine) execute as
+// goroutines under a cooperative scheduler. Exactly one goroutine — either
+// the scheduler or a single rank — is active at any instant, so every run
+// is bit-reproducible: virtual time advances only when the event heap is
+// popped, and ties are broken by insertion sequence.
+//
+// Higher layers (fabric, MPI, ARMCI) are built from three primitives:
+// Elapse (charge local virtual time), Park/Unpark (block a rank until a
+// condition is signalled), and At (schedule a handler at a future virtual
+// time). Handlers run in the scheduler goroutine and must not block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts a virtual duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// FromSeconds converts floating-point seconds to a virtual duration,
+// rounding to the nearest nanosecond and never rounding a positive
+// duration down to zero.
+func FromSeconds(s float64) Time {
+	t := Time(s*1e9 + 0.5)
+	if t <= 0 && s > 0 {
+		t = 1
+	}
+	return t
+}
+
+// String formats the time in human units.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// Proc is the execution context of one simulated rank. All Proc methods
+// must be called from the goroutine running that rank's body.
+type Proc struct {
+	id    int
+	e     *Engine
+	state procState
+	why   string // what the proc is parked on, for deadlock reports
+	wake  chan struct{}
+}
+
+// ID returns the rank's id in [0, N).
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Engine runs a fixed set of rank goroutines to completion under a
+// virtual clock.
+type Engine struct {
+	now       Time
+	seq       int64
+	events    eventHeap
+	procs     []*Proc
+	runnable  []*Proc // FIFO of procs ready to run
+	alive     int
+	schedWake chan struct{}
+	failure   error // first panic captured from a rank body
+	stats     Stats
+
+	// MaxTime, when nonzero, aborts Run with ErrTimeLimit once the
+	// virtual clock passes it — a watchdog against virtual livelock
+	// (event chains that never let the ranks finish).
+	MaxTime Time
+}
+
+// ErrTimeLimit is returned by Run when the virtual clock exceeds
+// Engine.MaxTime.
+type ErrTimeLimit struct{ At Time }
+
+func (e *ErrTimeLimit) Error() string {
+	return fmt.Sprintf("sim: virtual time limit exceeded at %v", e.At)
+}
+
+// Stats aggregates engine-level counters, useful in tests and benchmarks.
+type Stats struct {
+	Events    int64 // events dispatched
+	Parks     int64 // times any rank parked
+	FinalTime Time  // virtual time when Run returned
+}
+
+// NewEngine creates an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{schedWake: make(chan struct{})}
+}
+
+// Now returns the current virtual time. It is safe to call from event
+// handlers and rank bodies alike.
+func (e *Engine) Now() Time { return e.now }
+
+// Stats returns engine counters. Valid after Run has returned.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// It may be called from a rank body or from another handler. Handlers
+// run in the scheduler goroutine and must not block.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Elapse charges d nanoseconds of virtual time to the calling rank:
+// the rank blocks and resumes once the clock has advanced by d.
+func (p *Proc) Elapse(d Time) {
+	if d <= 0 {
+		return
+	}
+	e := p.e
+	e.At(e.now+d, func() { e.Unpark(p) })
+	p.Park("elapse")
+}
+
+// Park blocks the calling rank until another component calls Unpark on
+// it. The why string is reported if the simulation deadlocks.
+func (p *Proc) Park(why string) {
+	e := p.e
+	p.state = stateParked
+	p.why = why
+	e.stats.Parks++
+	e.schedWake <- struct{}{} // hand control to the scheduler
+	<-p.wake                  // wait to be resumed
+	p.state = stateRunning
+	p.why = ""
+}
+
+// Unpark marks a parked rank runnable. It may be called from event
+// handlers or from the body of another (currently active) rank. Calling
+// Unpark on a rank that is not parked or already runnable is a bug in
+// the caller and panics, with one exception: unparking a rank that is
+// already runnable is ignored, which lets multiple events wake the same
+// waiter.
+func (e *Engine) Unpark(p *Proc) {
+	switch p.state {
+	case stateParked:
+		p.state = stateRunnable
+		e.runnable = append(e.runnable, p)
+	case stateRunnable:
+		// Already queued; nothing to do.
+	case stateDone:
+		panic(fmt.Sprintf("sim: unpark of finished rank %d", p.id))
+	default:
+		panic(fmt.Sprintf("sim: unpark of running rank %d", p.id))
+	}
+}
+
+// Deadlock is returned (wrapped) by Run when every rank is parked and no
+// events remain.
+type Deadlock struct {
+	Time    Time
+	Waiting map[int]string // rank id -> park reason
+}
+
+func (d *Deadlock) Error() string {
+	ids := make([]int, 0, len(d.Waiting))
+	for id := range d.Waiting {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s := fmt.Sprintf("sim: deadlock at t=%v:", d.Time)
+	for _, id := range ids {
+		s += fmt.Sprintf(" rank %d parked on %q;", id, d.Waiting[id])
+	}
+	return s
+}
+
+type rankPanic struct {
+	rank int
+	val  interface{}
+}
+
+func (r *rankPanic) Error() string {
+	return fmt.Sprintf("sim: rank %d panicked: %v", r.rank, r.val)
+}
+
+// Run creates n ranks and executes body(p) on each, returning once all
+// ranks have finished. It returns an error if the simulation deadlocks
+// or any rank body panics. Run may be called repeatedly on fresh
+// engines but not concurrently on the same engine.
+func (e *Engine) Run(n int, body func(p *Proc)) error {
+	if n <= 0 {
+		return fmt.Errorf("sim: Run needs n > 0, got %d", n)
+	}
+	e.procs = make([]*Proc, n)
+	e.alive = n
+	for i := 0; i < n; i++ {
+		p := &Proc{id: i, e: e, state: stateRunnable, wake: make(chan struct{})}
+		e.procs[i] = p
+		e.runnable = append(e.runnable, p)
+	}
+	for _, p := range e.procs {
+		p := p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if e.failure == nil {
+						e.failure = &rankPanic{rank: p.id, val: r}
+					}
+				}
+				p.state = stateDone
+				e.alive--
+				e.schedWake <- struct{}{}
+			}()
+			<-p.wake // wait for first dispatch
+			p.state = stateRunning
+			body(p)
+		}()
+	}
+	// Scheduler loop: run ranks until none is runnable, then pop events.
+	for {
+		if e.failure != nil {
+			// Abandon: remaining goroutines stay parked; the engine is
+			// single-use so this leaks only until test process exit.
+			return e.failure
+		}
+		if len(e.runnable) > 0 {
+			p := e.runnable[0]
+			copy(e.runnable, e.runnable[1:])
+			e.runnable = e.runnable[:len(e.runnable)-1]
+			p.wake <- struct{}{}
+			<-e.schedWake // rank parked or exited
+			continue
+		}
+		if e.alive == 0 {
+			e.stats.FinalTime = e.now
+			return nil
+		}
+		if len(e.events) == 0 {
+			d := &Deadlock{Time: e.now, Waiting: map[int]string{}}
+			for _, p := range e.procs {
+				if p.state == stateParked {
+					d.Waiting[p.id] = p.why
+				}
+			}
+			return d
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			return &ErrTimeLimit{At: e.now}
+		}
+		e.stats.Events++
+		ev.fn()
+	}
+}
+
+// Procs returns the engine's ranks; valid during and after Run.
+func (e *Engine) Procs() []*Proc { return e.procs }
