@@ -12,6 +12,17 @@
 //
 // With no -platform, figure sweeps run on all four platforms. Output is
 // gnuplot-style columns on stdout.
+//
+// Observability (figure sweeps 3, 4, and 5):
+//
+//	-stats         print per-rank metrics (lock waits, bytes moved
+//	               contiguous vs packed, epoch flushes, ...) after the runs
+//	-trace f.json  write a Chrome trace_event file viewable in
+//	               chrome://tracing or https://ui.perfetto.dev
+//	-json dir      also write each figure as dir/BENCH_<name>.json
+//
+// All output is in deterministic virtual time: repeat runs of the same
+// configuration produce byte-identical stats, trace, and JSON files.
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -28,9 +40,12 @@ func main() {
 	plat := flag.String("platform", "", "platform (bgp, ib, xt5, xe6); empty = all")
 	op := flag.String("op", "", "operation filter for fig 4 (get, put, acc); empty = all")
 	quick := flag.Bool("quick", false, "reduced sweeps")
+	stats := flag.Bool("stats", false, "print per-rank observability metrics after the figure sweeps")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the figure sweeps")
+	jsonDir := flag.String("json", "", "also write each figure as BENCH_<name>.json into this directory")
 	flag.Parse()
 
-	if err := run(*fig, *plat, *op, *quick); err != nil {
+	if err := run(*fig, *plat, *op, *quick, *stats, *trace, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
@@ -47,12 +62,54 @@ func platforms(name string) ([]*platform.Platform, error) {
 	return []*platform.Platform{p}, nil
 }
 
-func run(fig, plat, opFilter string, quick bool) error {
+func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir string) error {
 	switch fig {
 	case "3", "4", "5", "ablations", "table2", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
+	var rec *obs.Recorder
+	if stats || traceFile != "" {
+		rec = obs.New(obs.Options{Trace: traceFile != ""})
+	}
+	if err := runFigures(fig, plat, opFilter, quick, rec, jsonDir); err != nil {
+		return err
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if stats {
+		rec.WriteStats(os.Stdout)
+	}
+	return nil
+}
+
+// emit prints a figure and, when a JSON directory was requested, also
+// writes its machine-readable BENCH_<name>.json form.
+func emit(f *bench.Figure, jsonDir string) error {
+	f.Print(os.Stdout)
+	if jsonDir == "" {
+		return nil
+	}
+	path, err := f.WriteJSONFile(jsonDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "armci-bench: wrote", path)
+	return nil
+}
+
+func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonDir string) error {
 	if fig == "table2" || fig == "all" {
 		bench.Table2(os.Stdout)
 		if fig == "table2" {
@@ -64,6 +121,7 @@ func run(fig, plat, opFilter string, quick bool) error {
 		if quick {
 			cfg = bench.QuickFig3()
 		}
+		cfg.Obs = rec
 		ps, err := platforms(plat)
 		if err != nil {
 			return err
@@ -73,7 +131,9 @@ func run(fig, plat, opFilter string, quick bool) error {
 			if err != nil {
 				return err
 			}
-			f.Print(os.Stdout)
+			if err := emit(f, jsonDir); err != nil {
+				return err
+			}
 		}
 		if fig == "3" {
 			return nil
@@ -84,6 +144,7 @@ func run(fig, plat, opFilter string, quick bool) error {
 		if quick {
 			cfg = bench.QuickFig4()
 		}
+		cfg.Obs = rec
 		ops := []bench.ContigOp{bench.OpGet, bench.OpAcc, bench.OpPut}
 		if opFilter != "" {
 			ops = []bench.ContigOp{bench.ContigOp(opFilter)}
@@ -99,7 +160,9 @@ func run(fig, plat, opFilter string, quick bool) error {
 					if err != nil {
 						return err
 					}
-					f.Print(os.Stdout)
+					if err := emit(f, jsonDir); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -112,11 +175,14 @@ func run(fig, plat, opFilter string, quick bool) error {
 		if quick {
 			cfg = bench.QuickFig5()
 		}
+		cfg.Obs = rec
 		f, err := bench.Fig5(cfg)
 		if err != nil {
 			return err
 		}
-		f.Print(os.Stdout)
+		if err := emit(f, jsonDir); err != nil {
+			return err
+		}
 		if fig == "5" {
 			return nil
 		}

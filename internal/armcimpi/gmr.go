@@ -15,6 +15,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -171,6 +172,10 @@ var _ armci.Runtime = (*Runtime)(nil)
 // Name identifies the implementation.
 func (r *Runtime) Name() string { return "armci-mpi" }
 
+// obs returns the job's recorder; its methods are nil-safe no-ops when
+// observability is off.
+func (r *Runtime) obs() *obs.Recorder { return r.W.Mpi.Obs }
+
 // Rank returns the calling world rank.
 func (r *Runtime) Rank() int { return r.R.ID() }
 
@@ -205,6 +210,7 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	if comm == nil {
 		return nil, fmt.Errorf("armcimpi: Malloc without a communicator")
 	}
+	t0 := r.R.P.Now()
 	var reg *fabric.Region
 	var va int64
 	if bytes > 0 {
@@ -252,6 +258,10 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	}
 	g.mutex[r.Rank()] = mux
 	comm.Barrier()
+	o := r.obs()
+	o.Inc(r.Rank(), obs.CGmrAlloc)
+	o.Add(r.Rank(), obs.CGmrBytes, int64(bytes))
+	o.Span(r.Rank(), "armci", "gmr.alloc", t0, r.R.P.Now(), obs.A("bytes", bytes), obs.A("id", id))
 	return append([]armci.Addr(nil), g.addrs...), nil
 }
 
@@ -324,6 +334,7 @@ func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr) error {
 			}
 		}
 	}
+	r.obs().Inc(r.Rank(), obs.CGmrFree)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Mutexes implements the ARMCI mutex API with the MPI RMA queueing
@@ -103,17 +104,27 @@ func (m *Mutexes) Lock(mtx, proc int) {
 	if host < 0 || mtx < 0 || mtx >= m.counts[host] {
 		panic(fmt.Sprintf("armcimpi: Lock(%d,%d): invalid mutex", mtx, proc))
 	}
+	t0 := m.r.R.P.Now()
 	others, err := m.epoch(host, mtx, 1)
 	if err != nil {
 		panic(fmt.Sprintf("armcimpi: mutex lock epoch failed: %v", err))
 	}
+	queued := 0
 	for _, b := range others {
 		if b != 0 {
-			// Enqueued: wait locally for the lock to be forwarded.
-			m.comm.Recv(mpi.AnySource, m.tag(host, mtx))
-			return
+			queued++
 		}
 	}
+	if queued > 0 {
+		// Enqueued: wait locally for the lock to be forwarded.
+		m.comm.Recv(mpi.AnySource, m.tag(host, mtx))
+	}
+	o := m.r.obs()
+	rank := m.r.Rank()
+	o.MaxGauge(rank, obs.GMutexQueue, int64(queued))
+	o.AddTime(rank, obs.TMutexWait, m.r.R.P.Now()-t0)
+	o.Span(rank, "armci", "mutex.lock", t0, m.r.R.P.Now(),
+		obs.A("host", proc), obs.A("queued", queued))
 }
 
 // Unlock releases mutex mtx on world rank proc, forwarding it to the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/conflicttree"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // stridedMethod resolves the configured strided strategy.
@@ -39,17 +40,32 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	switch r.stridedMethod() {
-	case MethodDirect:
-		return r.stridedDirect(class, scale, s)
-	default:
+	t0 := r.R.P.Now()
+	method := r.stridedMethod()
+	var err error
+	if method == MethodDirect {
+		err = r.stridedDirect(class, scale, s)
+	} else {
 		g := s.ToGIOV()
 		proc := s.Dst.Rank
 		if class == classGet {
 			proc = s.Src.Rank
 		}
-		return r.iov(class, scale, []armci.GIOV{g}, proc, r.stridedMethod())
+		err = r.iov(class, scale, []armci.GIOV{g}, proc, method)
 	}
+	if err != nil {
+		return err
+	}
+	name := "puts"
+	switch class {
+	case classGet:
+		name = "gets"
+	case classAcc:
+		name = "accs"
+	}
+	r.obs().Span(r.Rank(), "armci", name, t0, r.R.P.Now(),
+		obs.A("method", method.String()), obs.A("seg", s.SegBytes()))
+	return nil
 }
 
 // stridedDirect translates the strided descriptor straight into MPI

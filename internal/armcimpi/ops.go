@@ -6,6 +6,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 type opClass int
@@ -68,6 +69,7 @@ func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
 		return &localView{reg: reg, base: reg.VA}, nil
 	}
 	// Stage: copy the span out under an exclusive self-lock.
+	t0 := r.R.P.Now()
 	tmp := r.R.AllocMem(span)
 	win := g.wins[r.Rank()]
 	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
@@ -79,6 +81,9 @@ func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
 		return nil, err
 	}
 	r.W.Staged++
+	o := r.obs()
+	o.Inc(r.Rank(), obs.CStaged)
+	o.Span(r.Rank(), "armci", "stage", t0, r.R.P.Now(), obs.A("bytes", span))
 	return &localView{reg: tmp, base: addr.VA, staged: true, orig: addr, span: span, g: g, myRank: gr}, nil
 }
 
@@ -127,6 +132,7 @@ func (r *Runtime) remote(addr armci.Addr, n int) (*GMR, int, int, error) {
 // each operation completes within its own epoch, the call is both
 // locally and remotely complete on return (SectionV.F).
 func (r *Runtime) Put(src, dst armci.Addr, n int) error {
+	t0 := r.R.P.Now()
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -148,12 +154,17 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 	if err := e.end(); err != nil {
 		return err
 	}
-	return r.release(v, false)
+	if err := r.release(v, false); err != nil {
+		return err
+	}
+	r.obs().Span(r.Rank(), "armci", "put", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	return nil
 }
 
 // Get copies n bytes from the global src to the local dst; the data is
 // available on return.
 func (r *Runtime) Get(src, dst armci.Addr, n int) error {
+	t0 := r.R.P.Now()
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -175,13 +186,18 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 	if err := e.end(); err != nil {
 		return err
 	}
-	return r.release(v, true)
+	if err := r.release(v, true); err != nil {
+		return err
+	}
+	r.obs().Span(r.Rank(), "armci", "get", t0, r.R.P.Now(), obs.A("from", src.Rank), obs.A("bytes", n))
+	return nil
 }
 
 // Acc applies dst += scale*src elementwise on float64. ARMCI-MPI
 // pre-scales into a temporary buffer (MPI accumulate has no scale
 // argument) and issues MPI_Accumulate with MPI_SUM.
 func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) error {
+	t0 := r.R.P.Now()
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -226,7 +242,11 @@ func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int)
 			return err
 		}
 	}
-	return r.release(v, false)
+	if err := r.release(v, false); err != nil {
+		return err
+	}
+	r.obs().Span(r.Rank(), "armci", "acc", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	return nil
 }
 
 // completedHandle is the handle for "nonblocking" operations: MPI-2
@@ -301,20 +321,75 @@ func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
 	return nb3Handle{req: req}, nil
 }
 
-// NbPutS issues a strided put; completes immediately under MPI-2.
+// NbPutS issues a strided put. Under MPI-2 the call completes before
+// returning (no request-based RMA, SectionVIII.B); under MPI-3 it
+// issues a request-based Rput with derived datatypes on both sides,
+// mirroring the contiguous NbPut, so the transfer genuinely overlaps
+// with computation until Wait or Fence.
 func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
-	if err := r.PutS(s); err != nil {
+	if !r.Opt.UseMPI3 {
+		if err := r.PutS(s); err != nil {
+			return nil, err
+		}
+		return completedHandle{}, nil
+	}
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return completedHandle{}, nil
+	g, gr, disp, err := r.remote(s.Dst, s.DstSpan())
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.acquireLocal(s.Src, s.SrcSpan())
+	if err != nil {
+		return nil, err
+	}
+	ltype := stridedType(s.SrcStride, s.Count)
+	rtype := stridedType(s.DstStride, s.Count)
+	win := g.wins[r.Rank()]
+	if err := r.ensureLockAll(win); err != nil {
+		return nil, err
+	}
+	req, err := win.RPut(v.buf(s.Src.VA, ltype), gr, disp, rtype)
+	if err != nil {
+		return nil, err
+	}
+	r.pending[win] = true
+	return nb3Handle{req: req}, nil
 }
 
-// NbGetS issues a strided get; completes immediately under MPI-2.
+// NbGetS issues a strided get. Under MPI-2 it completes immediately;
+// under MPI-3 it issues a request-based Rget with derived datatypes and
+// the handle's Wait blocks until the strided data has landed.
 func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
-	if err := r.GetS(s); err != nil {
+	if !r.Opt.UseMPI3 {
+		if err := r.GetS(s); err != nil {
+			return nil, err
+		}
+		return completedHandle{}, nil
+	}
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return completedHandle{}, nil
+	g, gr, disp, err := r.remote(s.Src, s.SrcSpan())
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.acquireLocal(s.Dst, s.DstSpan())
+	if err != nil {
+		return nil, err
+	}
+	ltype := stridedType(s.DstStride, s.Count)
+	rtype := stridedType(s.SrcStride, s.Count)
+	win := g.wins[r.Rank()]
+	if err := r.ensureLockAll(win); err != nil {
+		return nil, err
+	}
+	req, err := win.RGet(v.buf(s.Dst.VA, ltype), gr, disp, rtype)
+	if err != nil {
+		return nil, err
+	}
+	return nb3Handle{req: req}, nil
 }
 
 // Fence ensures remote completion of prior operations to proc. Under

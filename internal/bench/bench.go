@@ -11,8 +11,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -93,6 +96,64 @@ func (f *Figure) Print(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
+}
+
+// figureJSON is the machine-readable schema of a figure. Field order is
+// fixed by the struct, and every value is derived from deterministic
+// virtual-time measurements, so repeat runs produce byte-identical
+// output.
+type figureJSON struct {
+	Name   string       `json:"name"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+// WriteJSON writes the figure as deterministic machine-readable JSON.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := figureJSON{Name: f.Name, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		js := seriesJSON{Label: s.Label, X: s.X, Y: s.Y}
+		if js.X == nil {
+			js.X = []float64{}
+		}
+		if js.Y == nil {
+			js.Y = []float64{}
+		}
+		out.Series = append(out.Series, js)
+	}
+	if out.Series == nil {
+		out.Series = []seriesJSON{}
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSONFile writes the figure to dir/BENCH_<name>.json and returns
+// the path written.
+func (f *Figure) WriteJSONFile(dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+f.Name+".json")
+	fh, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.WriteJSON(fh); err != nil {
+		fh.Close()
+		return "", err
+	}
+	return path, fh.Close()
 }
 
 // At returns the y value at exactly x.

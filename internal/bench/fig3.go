@@ -6,6 +6,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/armcimpi"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -22,6 +23,10 @@ const (
 type Fig3Config struct {
 	MinExp, MaxExp int // transfer sizes 2^MinExp .. 2^MaxExp bytes
 	Iters          int // measured repetitions per size
+
+	// Obs, when non-nil, records per-rank metrics and trace spans for
+	// every job in the sweep.
+	Obs *obs.Recorder
 }
 
 // DefaultFig3 mirrors the paper's 2^0..2^25 sweep at a size that runs
@@ -51,7 +56,7 @@ func ContigBandwidth(plat *platform.Platform, impl harness.Impl, op ContigOp, cf
 	nranks := 2 * plat.CoresPerNode // origin and target on different nodes
 	target := plat.CoresPerNode
 	var bwErr error
-	_, err := harness.Run(plat, nranks, impl, armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+	_, err := harness.RunObs(plat, nranks, impl, armcimpi.DefaultOptions(), cfg.Obs, func(rt armci.Runtime) {
 		addrs, err := rt.Malloc(maxSize)
 		if err != nil {
 			bwErr = err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/armcimpi"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -14,6 +15,10 @@ type Fig4Config struct {
 	SegSizes []int // contiguous segment sizes (paper: 16 and 1024 bytes)
 	MaxSegs  int   // segment counts 1..MaxSegs in powers of two
 	Iters    int
+
+	// Obs, when non-nil, records per-rank metrics and trace spans for
+	// every job in the sweep.
+	Obs *obs.Recorder
 }
 
 // DefaultFig4 mirrors the paper: 16 B and 1024 B segments, 1..1024
@@ -49,6 +54,10 @@ func fig4Variants() []stridedVariant {
 // 2-D strided patch: contiguous segments of segBytes, remote stride
 // 2x the segment (noncontiguous at the target), local buffer dense.
 func StridedBandwidth(plat *platform.Platform, v stridedVariant, op ContigOp, segBytes int, counts []int, iters int) (Series, error) {
+	return stridedBandwidthObs(plat, v, op, segBytes, counts, iters, nil)
+}
+
+func stridedBandwidthObs(plat *platform.Platform, v stridedVariant, op ContigOp, segBytes int, counts []int, iters int, rec *obs.Recorder) (Series, error) {
 	opt := armcimpi.DefaultOptions()
 	opt.StridedMethod = v.method
 	series := Series{Label: v.label}
@@ -58,7 +67,7 @@ func StridedBandwidth(plat *platform.Platform, v stridedVariant, op ContigOp, se
 	nranks := 2 * plat.CoresPerNode
 	target := plat.CoresPerNode
 	var bwErr error
-	_, err := harness.Run(plat, nranks, v.impl, opt, func(rt armci.Runtime) {
+	_, err := harness.RunObs(plat, nranks, v.impl, opt, rec, func(rt armci.Runtime) {
 		addrs, err := rt.Malloc(winBytes)
 		if err != nil {
 			bwErr = err
@@ -135,7 +144,7 @@ func Fig4(plat *platform.Platform, op ContigOp, segBytes int, cfg Fig4Config) (*
 		YLabel: "bandwidth (GB/s)",
 	}
 	for _, v := range fig4Variants() {
-		s, err := StridedBandwidth(plat, v, op, segBytes, counts, cfg.Iters)
+		s, err := stridedBandwidthObs(plat, v, op, segBytes, counts, cfg.Iters, cfg.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig4 %s/%s/%s: %w", plat.Name, v.label, op, err)
 		}

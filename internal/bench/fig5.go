@@ -7,6 +7,7 @@ import (
 	"repro/internal/armcimpi"
 	"repro/internal/fabric"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -15,6 +16,10 @@ import (
 type Fig5Config struct {
 	MinExp, MaxExp int
 	Iters          int
+
+	// Obs, when non-nil, records per-rank metrics and trace spans for
+	// every job in the sweep.
+	Obs *obs.Recorder
 }
 
 // DefaultFig5 mirrors the paper's 2^2..2^22 sweep.
@@ -57,7 +62,7 @@ func InteropBandwidth(plat *platform.Platform, c fig5Curve, cfg Fig5Config) (Ser
 	nranks := 2 * plat.CoresPerNode
 	target := plat.CoresPerNode
 	var bwErr error
-	j, err := harness.NewJob(plat, nranks, c.impl, armcimpi.DefaultOptions())
+	j, err := harness.NewJobObs(plat, nranks, c.impl, armcimpi.DefaultOptions(), cfg.Obs)
 	if err != nil {
 		return series, err
 	}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/armci"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -56,6 +57,10 @@ type World struct {
 	Ops        int64
 	Requests   int64
 	ServerWait sim.Time // aggregate time requests spent queued at servers
+
+	// Obs, when non-nil, receives per-rank request counters, queueing
+	// delays, and server-lane trace spans. Nil-safe no-ops when off.
+	Obs *obs.Recorder
 }
 
 type allocation struct {
@@ -196,7 +201,16 @@ func (r *Runtime) putSegs(segs []seg, target int, accumulate bool, scale float64
 	if accumulate {
 		procNs = float64(total) / r.accRate() * 1e9
 	}
-	_, done := r.w.serve(node, arrive, copyBytes, procNs)
+	start, done := r.w.serve(node, arrive, copyBytes, procNs)
+	o := r.w.Obs
+	o.Inc(r.Rank(), obs.CDsRequests)
+	o.AddTime(r.Rank(), obs.TDsWait, start-arrive)
+	name := "put"
+	if accumulate {
+		name = "acc"
+	}
+	o.SpanLane(obs.LaneServer(node), "ds", name, start, done,
+		obs.A("origin", r.Rank()), obs.A("bytes", total))
 	segsCopy := segs
 	m.Eng.At(done, func() {
 		for i, sg := range segsCopy {
@@ -240,7 +254,12 @@ func (r *Runtime) getSegs(segs []seg, target int) error {
 	// Server gathers the segments (staging copy) and then *sends* them
 	// back — unlike an RDMA engine, the two-sided server's CPU is busy
 	// for the duration of the response injection too.
-	_, served := r.w.serve(node, req, total, float64(total)/r.rate()*1e9)
+	start, served := r.w.serve(node, req, total, float64(total)/r.rate()*1e9)
+	o := r.w.Obs
+	o.Inc(r.Rank(), obs.CDsRequests)
+	o.AddTime(r.Rank(), obs.TDsWait, start-req)
+	o.SpanLane(obs.LaneServer(node), "ds", "get", start, served,
+		obs.A("origin", r.Rank()), obs.A("bytes", total))
 	done := false
 	p := r.p
 	eng := m.Eng

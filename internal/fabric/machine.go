@@ -13,6 +13,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -88,6 +89,10 @@ type Machine struct {
 	MsgsSent    int64
 	BytesSent   int64
 	PagesPinned int64
+
+	// Obs, when non-nil, receives per-rank injection counters and
+	// per-node NIC link busy time. All hooks are nil-safe no-ops.
+	Obs *obs.Recorder
 }
 
 // NewMachine creates fabric state for nranks ranks on engine eng.

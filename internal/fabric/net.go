@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,8 @@ func (m *Machine) xferCost(now sim.Time, src, dst, n int, opt XferOpt) (start, a
 	par := &m.Par
 	m.MsgsSent++
 	m.BytesSent += int64(n)
+	m.Obs.Inc(src, obs.CFabMsgs)
+	m.Obs.Add(src, obs.CFabBytes, int64(n))
 	if m.SameNode(src, dst) {
 		rate := opt.Rate
 		if rate == 0 {
@@ -77,6 +80,8 @@ func (m *Machine) xferCost(now sim.Time, src, dst, n int, opt XferOpt) (start, a
 		}
 		s.freeAt = start + occupy
 		d.freeAt = start + occupy
+		m.Obs.LinkBusy(m.NodeOf(src), occupy)
+		m.Obs.LinkBusy(m.NodeOf(dst), occupy)
 	}
 	arrive = start + occupy + sim.FromSeconds(par.LatencyNs/1e9)
 	if arrive <= now {

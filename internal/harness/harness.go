@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -57,6 +58,15 @@ type Job struct {
 
 // NewJob builds the simulation stack for nranks ranks of the platform.
 func NewJob(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options) (*Job, error) {
+	return NewJobObs(plat, nranks, impl, opt, nil)
+}
+
+// NewJobObs is NewJob with an observability recorder attached: the
+// recorder opens a new trace process for this job, becomes the engine's
+// scheduling observer, and is wired into every layer's hook point
+// (fabric link busy, MPI lock/epoch/op metrics, ARMCI staging and
+// mutexes, data-server queueing). rec may be nil: observability off.
+func NewJobObs(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options, rec *obs.Recorder) (*Job, error) {
 	par := plat.Params
 	if impl == ImplDataServer && par.CoresPerNode > 1 {
 		// The data server consumes a core per node (SectionIX): the
@@ -83,6 +93,15 @@ func NewJob(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options
 	default:
 		return nil, fmt.Errorf("harness: unknown implementation %q", impl)
 	}
+	if rec != nil {
+		rec.BeginJob(fmt.Sprintf("%s/%s/n=%d", plat.Name, impl, nranks), eng, nranks)
+		eng.Observe(rec)
+		m.Obs = rec
+		j.MpiWorld.Obs = rec
+		if j.DSWorld != nil {
+			j.DSWorld.Obs = rec
+		}
+	}
 	return j, nil
 }
 
@@ -104,7 +123,12 @@ func (j *Job) Runtime(p *sim.Proc) armci.Runtime {
 // implementation and returns the job for inspection (counters, final
 // virtual time).
 func Run(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options, body func(rt armci.Runtime)) (*Job, error) {
-	j, err := NewJob(plat, nranks, impl, opt)
+	return RunObs(plat, nranks, impl, opt, nil, body)
+}
+
+// RunObs is Run with an observability recorder attached (may be nil).
+func RunObs(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Options, rec *obs.Recorder, body func(rt armci.Runtime)) (*Job, error) {
+	j, err := NewJobObs(plat, nranks, impl, opt, rec)
 	if err != nil {
 		return nil, err
 	}

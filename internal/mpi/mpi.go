@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -106,6 +107,11 @@ type World struct {
 	SharedEpochs int64
 	ExclEpochs   int64
 	RMAOps       int64
+
+	// Obs, when non-nil, receives per-rank RMA metrics and trace spans
+	// (lock waits, epochs, op issue→remote-complete, datatype packs).
+	// All hooks are nil-safe no-ops.
+	Obs *obs.Recorder
 }
 
 // NewWorld creates MPI state for all ranks of machine m with the given

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -139,6 +140,7 @@ type epoch struct {
 	target     int // window rank
 	ltype      LockType
 	nops       int
+	openedAt   sim.Time // grant time, for epoch trace spans
 	completeAt sim.Time
 	ranges     []rng // target ranges touched, for same-epoch checking
 	active     *activeEpoch
@@ -255,6 +257,7 @@ func (w *Win) Lock(lt LockType, target int) error {
 		return fmt.Errorf("mpi: Win.Lock: bad target %d", target)
 	}
 	r := w.comm.r
+	reqAt := r.P.Now()
 	r.opOverhead()
 	ws := w.state
 	tl := ws.locks[target]
@@ -286,6 +289,7 @@ func (w *Win) Lock(lt LockType, target int) error {
 	for !granted {
 		p.Park("mpi.WinLock")
 	}
+	ep.openedAt = p.Now()
 	ep.completeAt = p.Now()
 	r.W.Epochs++
 	if lt == LockShared {
@@ -293,6 +297,16 @@ func (w *Win) Lock(lt LockType, target int) error {
 	} else {
 		r.W.ExclEpochs++
 	}
+	o := r.W.Obs
+	wait := p.Now() - reqAt
+	if lt == LockShared {
+		o.AddTime(r.ID(), obs.TLockWaitShared, wait)
+	} else {
+		o.AddTime(r.ID(), obs.TLockWaitExcl, wait)
+	}
+	o.Observe(r.ID(), obs.HLockWait, wait)
+	o.Inc(r.ID(), obs.CEpochs)
+	o.Span(r.ID(), "mpi", "lock("+lt.String()+")", reqAt, p.Now(), obs.A("target", targetWorld))
 	return nil
 }
 
@@ -365,6 +379,8 @@ func (w *Win) Unlock(target int) error {
 	for !done {
 		p.Park("mpi.WinUnlock")
 	}
+	r.W.Obs.Span(r.ID(), "epoch", "epoch("+ep.ltype.String()+")", ep.openedAt, p.Now(),
+		obs.A("target", targetWorld), obs.A("ops", ep.nops))
 	w.cur = nil
 	return ws.err
 }
@@ -509,7 +525,12 @@ func (w *Win) pack(buf LocalBuf) []byte {
 		copy(out, src[:buf.Type.Size()])
 		return out
 	}
+	t0 := r.P.Now()
 	r.W.M.CopyLocal(r.P, buf.Type.Size()) // pack cost
+	o := r.W.Obs
+	o.Add(r.ID(), obs.CPackBytes, int64(buf.Type.Size()))
+	o.AddTime(r.ID(), obs.TPack, r.P.Now()-t0)
+	o.Span(r.ID(), "dt", "pack", t0, r.P.Now(), obs.A("bytes", buf.Type.Size()))
 	out := make([]byte, 0, buf.Type.Size())
 	buf.Type.Segments(func(off, n int) {
 		out = append(out, src[off:off+n]...)
@@ -541,6 +562,7 @@ func packFrom(src []byte, t Datatype) []byte {
 // displacement tdisp with layout ttype. Nonblocking: completion is
 // guaranteed by Unlock.
 func (w *Win) Put(buf LocalBuf, target, tdisp int, ttype Datatype) error {
+	t0 := w.comm.r.P.Now()
 	ep, err := w.opPrologue(buf, target, tdisp, ttype, opPut, OpReplace)
 	if err != nil {
 		return err
@@ -574,12 +596,26 @@ func (w *Win) Put(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	if done > ep.completeAt {
 		ep.completeAt = done
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.COpsPut)
+	o.Add(r.ID(), bytesMetric(buf.Type, ttype), int64(len(data)))
+	o.Span(r.ID(), "rma", "put", t0, done, obs.A("target", targetWorld), obs.A("bytes", len(data)))
 	return nil
+}
+
+// bytesMetric classifies an op's payload: contiguous on both sides, or
+// moved through a datatype pack/unpack path on either side.
+func bytesMetric(origin, target Datatype) string {
+	if origin.Contig() && target.Contig() {
+		return obs.CBytesContig
+	}
+	return obs.CBytesPacked
 }
 
 // Get transfers from the target window into the origin buffer.
 // Nonblocking: the origin buffer holds the data only after Unlock.
 func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
+	t0 := w.comm.r.P.Now()
 	ep, err := w.opPrologue(buf, target, tdisp, ttype, opGet, OpNoOp)
 	if err != nil {
 		return err
@@ -597,17 +633,22 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	// completion horizon is updated from inside the event; Unlock
 	// re-checks completeAt after sleeping so it never closes the epoch
 	// before the data has landed.
+	origin := r.ID()
 	reqArrive := r.control(targetWorld)
 	m.Eng.At(reqArrive, func() {
 		src := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
 		data := packFrom(src, ttype)
-		back := m.SendDataAsync(targetWorld, r.ID(), len(data), fabric.XferOpt{Rate: rate})
+		back := m.SendDataAsync(targetWorld, origin, len(data), fabric.XferOpt{Rate: rate})
 		if !ttype.Contig() || !buf.Type.Contig() {
 			back += m.CopyTime(nbytes)
 		}
 		if back > ep.completeAt {
 			ep.completeAt = back
 		}
+		// The true return time is known only here (it depends on NIC
+		// occupancy at the target), so the span is recorded from inside
+		// the event.
+		r.W.Obs.Span(origin, "rma", "get", t0, back, obs.A("target", targetWorld), obs.A("bytes", nbytes))
 		m.Eng.At(back, func() {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -624,6 +665,9 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	if done > ep.completeAt {
 		ep.completeAt = done
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.COpsGet)
+	o.Add(r.ID(), bytesMetric(buf.Type, ttype), int64(nbytes))
 	return nil
 }
 
@@ -631,6 +675,7 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 // reduction op (element type float64 for arithmetic ops; OpReplace
 // behaves like Put with element granularity). Nonblocking.
 func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype) error {
+	t0 := w.comm.r.P.Now()
 	ep, err := w.opPrologue(buf, target, tdisp, ttype, opAcc, op)
 	if err != nil {
 		return err
@@ -668,6 +713,13 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	if applyDone > ep.completeAt {
 		ep.completeAt = applyDone
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.COpsAcc)
+	o.Add(r.ID(), bytesMetric(buf.Type, ttype), int64(len(data)))
+	o.Span(r.ID(), "rma", "acc("+op.String()+")", t0, applyDone,
+		obs.A("target", targetWorld), obs.A("bytes", len(data)))
+	o.SpanLane(obs.LaneServer(m.NodeOf(targetWorld)), "agent", "apply("+op.String()+")",
+		start, applyDone, obs.A("origin", r.ID()), obs.A("bytes", len(data)))
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -61,6 +62,7 @@ func (w *Win) Flush(target int) error {
 		return fmt.Errorf("mpi: Flush outside lock-all mode")
 	}
 	r := w.comm.r
+	t0 := r.P.Now()
 	r.opOverhead()
 	if ep := w.all[target]; ep != nil {
 		for {
@@ -72,6 +74,9 @@ func (w *Win) Flush(target int) error {
 		}
 		r.P.Elapse(r.W.M.RoundTripTime(r.ID(), w.state.group[target]))
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.CEpochFlush)
+	o.Span(r.ID(), "epoch", "flush", t0, r.P.Now(), obs.A("target", w.state.group[target]))
 	return w.state.err
 }
 
@@ -81,6 +86,7 @@ func (w *Win) FlushAll() error {
 		return fmt.Errorf("mpi: FlushAll outside lock-all mode")
 	}
 	r := w.comm.r
+	t0 := r.P.Now()
 	r.opOverhead()
 	rtt := sim.Time(0)
 	for {
@@ -97,6 +103,9 @@ func (w *Win) FlushAll() error {
 		r.W.M.SleepUntil(r.P, last)
 	}
 	r.P.Elapse(rtt)
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.CEpochFlush)
+	o.Span(r.ID(), "epoch", "flush_all", t0, r.P.Now())
 	return w.state.err
 }
 
@@ -105,9 +114,12 @@ func (w *Win) FlushAll() error {
 func (w *Win) lockAllEpoch(target int) *epoch {
 	ep := w.all[target]
 	if ep == nil {
-		ep = &epoch{target: target, ltype: LockShared, relaxed: true, completeAt: w.comm.r.P.Now()}
+		r := w.comm.r
+		ep = &epoch{target: target, ltype: LockShared, relaxed: true,
+			openedAt: r.P.Now(), completeAt: r.P.Now()}
 		w.all[target] = ep
-		w.comm.r.W.Epochs++
+		r.W.Epochs++
+		r.W.Obs.Inc(r.ID(), obs.CEpochs)
 	}
 	return ep
 }
@@ -211,6 +223,7 @@ const amoProcessNs = 120 // target-side atomic execution cost
 // Requires MPI-3 mode and an open epoch or lock-all on the target.
 func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error) {
 	r := w.comm.r
+	t0 := r.P.Now()
 	if !r.W.MPI3 {
 		return 0, errMPI3(w, "Fetch_and_op")
 	}
@@ -270,6 +283,9 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 	if ep.completeAt < p.Now() {
 		ep.completeAt = p.Now()
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.COpsAmo)
+	o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+")", t0, p.Now(), obs.A("target", targetWorld))
 	return old, ws.err
 }
 
@@ -277,6 +293,7 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 // swapv if it equals compare, returning the previous value.
 func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, error) {
 	r := w.comm.r
+	t0 := r.P.Now()
 	if !r.W.MPI3 {
 		return 0, errMPI3(w, "Compare_and_swap")
 	}
@@ -333,5 +350,8 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 	if ep.completeAt < p.Now() {
 		ep.completeAt = p.Now()
 	}
+	o := r.W.Obs
+	o.Inc(r.ID(), obs.COpsAmo)
+	o.Span(r.ID(), "rma", "compare_and_swap", t0, p.Now(), obs.A("target", targetWorld))
 	return old, ws.err
 }

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// TestLockQueueFIFOExclusive checks that exclusive lock requests are
+// granted in arrival order: contenders stagger their requests while the
+// first holder keeps the lock, and the grant order must match the
+// request order.
+func TestLockQueueFIFOExclusive(t *testing.T) {
+	var order []int
+	withWin(t, 5, 64, func(r *Rank, win *Win, reg *fabric.Region) {
+		// Target is rank 0; ranks 1..4 contend with staggered arrivals.
+		win.Comm().Barrier()
+		switch r.ID() {
+		case 1:
+			must(t, win.Lock(LockExclusive, 0))
+			order = append(order, 1)
+			r.P.Elapse(sim.FromSeconds(300e-6)) // hold while the others queue
+			must(t, win.Unlock(0))
+		case 2, 3, 4:
+			r.P.Elapse(sim.FromSeconds(float64(r.ID()-1) * 30e-6))
+			must(t, win.Lock(LockExclusive, 0))
+			order = append(order, r.ID())
+			r.P.Elapse(sim.FromSeconds(10e-6))
+			must(t, win.Unlock(0))
+		}
+		win.Comm().Barrier()
+	})
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v (queue is not FIFO)", order, want)
+		}
+	}
+}
+
+// TestLockQueueNoSharedOvertake checks the anti-starvation rule: a
+// shared request arriving while the lock is shared-held must NOT jump
+// ahead of an exclusive request already queued. The late shared reader
+// waits until the writer has had its turn.
+func TestLockQueueNoSharedOvertake(t *testing.T) {
+	var order []int
+	withWin(t, 4, 64, func(r *Rank, win *Win, reg *fabric.Region) {
+		win.Comm().Barrier()
+		switch r.ID() {
+		case 1: // first shared holder
+			must(t, win.Lock(LockShared, 0))
+			order = append(order, 1)
+			r.P.Elapse(sim.FromSeconds(200e-6))
+			must(t, win.Unlock(0))
+		case 2: // exclusive writer, queued behind the shared holder
+			r.P.Elapse(sim.FromSeconds(30e-6))
+			must(t, win.Lock(LockExclusive, 0))
+			order = append(order, 2)
+			r.P.Elapse(sim.FromSeconds(50e-6))
+			must(t, win.Unlock(0))
+		case 3: // late shared reader: lock is shared-held on arrival, but
+			// the queued writer must go first.
+			r.P.Elapse(sim.FromSeconds(60e-6))
+			must(t, win.Lock(LockShared, 0))
+			order = append(order, 3)
+			must(t, win.Unlock(0))
+		}
+		win.Comm().Barrier()
+	})
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v (shared request overtook a queued exclusive)", order, want)
+		}
+	}
+}

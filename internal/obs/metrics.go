@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Metric names used by the instrumented layers. Counters count events
+// or bytes; "time" metrics accumulate virtual nanoseconds.
+const (
+	// MPI RMA layer (internal/mpi).
+	COpsPut         = "rma.put.ops"         // puts issued
+	COpsGet         = "rma.get.ops"         // gets issued
+	COpsAcc         = "rma.acc.ops"         // accumulates issued
+	COpsAmo         = "rma.amo.ops"         // fetch-and-op / compare-and-swap
+	CBytesContig    = "rma.bytes.contig"    // payload bytes moved with contiguous datatypes
+	CBytesPacked    = "rma.bytes.packed"    // payload bytes moved through datatype pack paths
+	CEpochs         = "epoch.count"         // passive-target epochs opened
+	CEpochFlush     = "epoch.flush"         // MPI-3 flush / flush-all calls
+	CPackBytes      = "dt.pack.bytes"       // bytes packed from noncontiguous origin layouts
+	TLockWaitShared = "lock.wait.shared"    // time from lock request to grant (shared)
+	TLockWaitExcl   = "lock.wait.exclusive" // time from lock request to grant (exclusive)
+	TPack           = "dt.pack.time"        // origin-side datatype pack time
+	HLockWait       = "lock.wait"           // lock-acquire wait histogram (all lock types)
+
+	// ARMCI-MPI layer (internal/armcimpi).
+	CGmrAlloc   = "gmr.alloc"         // GMR allocations (Malloc/MallocGroup)
+	CGmrBytes   = "gmr.bytes"         // bytes exposed in GMRs
+	CGmrFree    = "gmr.free"          // GMR frees
+	CStaged     = "armci.staged"      // global-buffer staging events
+	TMutexWait  = "mutex.wait"        // RMW mutex acquisition wait
+	GMutexQueue = "mutex.queue.depth" // max waiters seen behind a mutex
+
+	// Fabric (internal/fabric).
+	CFabMsgs  = "fab.msgs"  // messages injected by the rank
+	CFabBytes = "fab.bytes" // bytes injected by the rank
+
+	// Data server (internal/dataserver).
+	CDsRequests = "ds.requests" // requests sent to remote data servers
+	TDsWait     = "ds.wait"     // time requests spent queued at servers
+)
+
+// histBuckets is the bucket count of the log2 latency histograms:
+// bucket i holds durations in [2^(i-1), 2^i) ns, bucket 0 holds zero.
+const histBuckets = 48
+
+// Hist is one log2 latency histogram.
+type Hist struct {
+	Count   int64
+	SumNs   int64
+	Buckets [histBuckets]int64
+}
+
+func (h *Hist) observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Count++
+	h.SumNs += int64(d)
+	h.Buckets[b]++
+}
+
+// Metrics is the per-rank registry. Ranks are dense small integers;
+// slices grow on demand so one registry can span jobs of different
+// sizes (indices above a job's size simply stay zero).
+type Metrics struct {
+	counters map[string][]int64    // event / byte counters
+	times    map[string][]sim.Time // accumulated virtual durations
+	gauges   map[string][]int64    // high-water marks
+	hists    map[string][]*Hist    // latency histograms
+	links    []sim.Time            // per-node NIC busy time
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string][]int64{},
+		times:    map[string][]sim.Time{},
+		gauges:   map[string][]int64{},
+		hists:    map[string][]*Hist{},
+	}
+}
+
+func growI64(s []int64, n int) []int64 {
+	for len(s) <= n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growTime(s []sim.Time, n int) []sim.Time {
+	for len(s) <= n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Add adds v to the named counter of one rank.
+func (m *Metrics) Add(rank int, name string, v int64) {
+	if m == nil || rank < 0 {
+		return
+	}
+	s := growI64(m.counters[name], rank)
+	s[rank] += v
+	m.counters[name] = s
+}
+
+// AddTime accumulates a virtual duration for one rank.
+func (m *Metrics) AddTime(rank int, name string, d sim.Time) {
+	if m == nil || rank < 0 {
+		return
+	}
+	s := growTime(m.times[name], rank)
+	s[rank] += d
+	m.times[name] = s
+}
+
+// Observe records a duration in the named histogram of one rank.
+func (m *Metrics) Observe(rank int, name string, d sim.Time) {
+	if m == nil || rank < 0 {
+		return
+	}
+	hs := m.hists[name]
+	for len(hs) <= rank {
+		hs = append(hs, &Hist{})
+	}
+	m.hists[name] = hs
+	hs[rank].observe(d)
+}
+
+// MaxGauge raises the named high-water mark of one rank to v.
+func (m *Metrics) MaxGauge(rank int, name string, v int64) {
+	if m == nil || rank < 0 {
+		return
+	}
+	s := growI64(m.gauges[name], rank)
+	if v > s[rank] {
+		s[rank] = v
+	}
+	m.gauges[name] = s
+}
+
+// LinkBusy accumulates NIC occupancy for one node.
+func (m *Metrics) LinkBusy(node int, d sim.Time) {
+	if m == nil || node < 0 {
+		return
+	}
+	m.links = growTime(m.links, node)
+	m.links[node] += d
+}
+
+// Counter returns the per-rank values of a counter (nil if unused).
+func (m *Metrics) Counter(name string) []int64 {
+	if m == nil {
+		return nil
+	}
+	return m.counters[name]
+}
+
+// TimeOf returns the per-rank values of a time metric (nil if unused).
+func (m *Metrics) TimeOf(name string) []sim.Time {
+	if m == nil {
+		return nil
+	}
+	return m.times[name]
+}
+
+// Gauge returns the per-rank values of a gauge (nil if unused).
+func (m *Metrics) Gauge(name string) []int64 {
+	if m == nil {
+		return nil
+	}
+	return m.gauges[name]
+}
+
+// HistOf returns the per-rank histograms of a name (nil if unused).
+func (m *Metrics) HistOf(name string) []*Hist {
+	if m == nil {
+		return nil
+	}
+	return m.hists[name]
+}
+
+// Links returns per-node NIC busy time.
+func (m *Metrics) Links() []sim.Time {
+	if m == nil {
+		return nil
+	}
+	return m.links
+}
+
+// Total sums a counter across ranks.
+func Total(vals []int64) int64 {
+	var t int64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+// TotalTime sums a time metric across ranks.
+func TotalTime(vals []sim.Time) sim.Time {
+	var t sim.Time
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}

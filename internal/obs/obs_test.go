@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.t }
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.BeginJob("x", &fakeClock{}, 4)
+	r.Inc(0, COpsPut)
+	r.Add(1, CBytesContig, 64)
+	r.AddTime(0, TLockWaitExcl, 10)
+	r.Observe(0, HLockWait, 10)
+	r.MaxGauge(0, GMutexQueue, 3)
+	r.LinkBusy(0, 5)
+	r.Span(0, "rma", "put", 0, 10)
+	r.SpanLane(LaneServer(0), "ds", "serve", 0, 10)
+	r.Instant(0, "m", "mark", 5)
+	r.RankParked(0, "x", 1)
+	r.RankResumed(0, 2)
+	if r.Enabled() || r.Tracing() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil trace output: %q", buf.String())
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	r := New(Options{})
+	r.BeginJob("job", &fakeClock{}, 2)
+	r.Inc(0, COpsPut)
+	r.Inc(0, COpsPut)
+	r.Add(1, COpsPut, 3)
+	r.AddTime(1, TLockWaitShared, 2500)
+	r.Observe(0, HLockWait, 1023)
+	r.Observe(0, HLockWait, 1024)
+	r.MaxGauge(0, GMutexQueue, 2)
+	r.MaxGauge(0, GMutexQueue, 1)
+
+	m := r.Metrics()
+	if got := m.Counter(COpsPut); got[0] != 2 || got[1] != 3 {
+		t.Errorf("counter = %v", got)
+	}
+	if got := m.TimeOf(TLockWaitShared); got[1] != 2500 {
+		t.Errorf("time = %v", got)
+	}
+	if got := m.Gauge(GMutexQueue); got[0] != 2 {
+		t.Errorf("gauge = %v", got)
+	}
+	h := m.HistOf(HLockWait)[0]
+	if h.Count != 2 || h.SumNs != 2047 {
+		t.Errorf("hist = %+v", h)
+	}
+	// 1023 has bit length 10, 1024 has bit length 11.
+	if h.Buckets[10] != 1 || h.Buckets[11] != 1 {
+		t.Errorf("hist buckets = %v", h.Buckets)
+	}
+}
+
+func TestTraceExportIsValidJSONAndDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := New(Options{Trace: true})
+		c := &fakeClock{}
+		r.BeginJob("job-a", c, 2)
+		r.Span(0, "rma", "put", 100, 1600, A("target", 1), A("bytes", 64))
+		r.Span(1, "mpi", "lock(exclusive)", 0, 2500)
+		r.Instant(0, "epoch", "flush", 3000)
+		r.RankParked(1, "mpi.WinLock", 100)
+		r.RankResumed(1, 900)
+		r.BeginJob("job-b", c, 1)
+		r.Span(0, "rma", "get", 0, 333)
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace export is not byte-deterministic")
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a)
+	}
+	// 3 metadata (job-a proc + 2 ranks) + 3 spans/instants + 1 park span
+	// + 2 metadata (job-b) + 1 span.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("event count = %d", len(doc.TraceEvents))
+	}
+	// Spot-check the chrome fields of the first real span.
+	var put map[string]interface{}
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "put" {
+			put = e
+		}
+	}
+	if put == nil {
+		t.Fatal("no put span")
+	}
+	if put["ph"] != "X" || put["ts"] != 0.1 || put["dur"] != 1.5 {
+		t.Errorf("put span fields = %v", put)
+	}
+	if args := put["args"].(map[string]interface{}); args["bytes"] != 64.0 {
+		t.Errorf("args = %v", args)
+	}
+}
+
+func TestParkAccounting(t *testing.T) {
+	r := New(Options{})
+	r.BeginJob("job", &fakeClock{}, 2)
+	r.RankParked(0, "mpi.WinLock", 100)
+	r.RankResumed(0, 700)
+	r.RankParked(0, "elapse", 700) // pure time passage: ignored
+	r.RankResumed(0, 900)
+	got := r.Metrics().TimeOf("sched.park:mpi.WinLock")
+	if len(got) == 0 || got[0] != 600 {
+		t.Errorf("park time = %v", got)
+	}
+}
+
+func TestStatsJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := New(Options{})
+		r.BeginJob("job", &fakeClock{}, 2)
+		r.Add(0, CBytesContig, 100)
+		r.Add(1, CBytesPacked, 50)
+		r.AddTime(0, TLockWaitExcl, 12345)
+		r.Observe(1, HLockWait, 777)
+		r.MaxGauge(0, GMutexQueue, 4)
+		r.LinkBusy(1, 999)
+		var buf bytes.Buffer
+		if err := r.WriteStatsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("stats JSON is not byte-deterministic")
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("stats JSON invalid: %v", err)
+	}
+	if _, ok := doc["counters"]; !ok {
+		t.Error("missing counters")
+	}
+}
+
+func TestFormatUs(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0",
+		1:       "0.001",
+		999:     "0.999",
+		1000:    "1",
+		1500:    "1.5",
+		1234567: "1234.567",
+		-2500:   "-2.5",
+	}
+	for ns, want := range cases {
+		if got := formatUs(ns); got != want {
+			t.Errorf("formatUs(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestStatsTextReport(t *testing.T) {
+	r := New(Options{})
+	r.BeginJob("job", &fakeClock{}, 2)
+	r.AddTime(0, TLockWaitShared, 1500)
+	r.AddTime(1, TLockWaitExcl, 2500)
+	r.Add(0, CBytesContig, 4096)
+	r.Add(0, CBytesPacked, 128)
+	r.Add(1, CEpochFlush, 3)
+	var buf bytes.Buffer
+	r.WriteStats(&buf)
+	out := buf.String()
+	for _, want := range []string{"rank", CBytesContig[:3], "4096", "128", "lock.wait.shared", "epoch.flush"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}

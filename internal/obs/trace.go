@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Arg is one key/value annotation on a trace event. Values may be
+// string, int, int64, float64, or bool; anything else is rendered via
+// fmt.Sprint. Args keep insertion order so exports are byte-stable.
+type Arg struct {
+	Key string
+	Val interface{}
+}
+
+// A is shorthand for constructing an Arg.
+func A(key string, val interface{}) Arg { return Arg{Key: key, Val: val} }
+
+type traceEvent struct {
+	name  string
+	cat   string
+	ph    byte // 'X' complete, 'i' instant, 'M' metadata
+	tsNs  int64
+	durNs int64
+	pid   int
+	tid   int
+	args  []Arg
+}
+
+// Tracer buffers trace events in insertion order. The simulation is
+// deterministic, so insertion order — and therefore the exported byte
+// stream — is too.
+type Tracer struct {
+	events []traceEvent
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) span(pid, tid int, cat, name string, start, end sim.Time, args []Arg) {
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'X',
+		tsNs: int64(start), durNs: int64(end - start),
+		pid: pid, tid: tid, args: args,
+	})
+}
+
+func (t *Tracer) instant(pid, tid int, cat, name string, at sim.Time, args []Arg) {
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'i',
+		tsNs: int64(at), pid: pid, tid: tid, args: args,
+	})
+}
+
+// meta emits process and thread naming metadata for a new job.
+func (t *Tracer) meta(pid int, label string, nranks int) {
+	t.events = append(t.events, traceEvent{
+		name: "process_name", ph: 'M', pid: pid,
+		args: []Arg{{Key: "name", Val: label}},
+	})
+	for i := 0; i < nranks; i++ {
+		t.events = append(t.events, traceEvent{
+			name: "thread_name", ph: 'M', pid: pid, tid: i,
+			args: []Arg{{Key: "name", Val: fmt.Sprintf("rank %d", i)}},
+		})
+	}
+}
+
+// Len reports the number of buffered events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// WriteTrace exports the buffered events as Chrome trace_event JSON
+// (the "JSON object format"), loadable in chrome://tracing and
+// Perfetto. Timestamps are virtual microseconds with nanosecond
+// precision. Output is byte-deterministic for a deterministic run.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil || r.tr == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	return r.tr.Write(w)
+}
+
+// Write exports the tracer's events; see Recorder.WriteTrace.
+func (t *Tracer) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[` + "\n")
+	for i := range t.events {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		writeEvent(bw, &t.events[i])
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// writeEvent renders one event with a fixed field order so output is
+// byte-stable; encoding/json is used only for string escaping.
+func writeEvent(bw *bufio.Writer, e *traceEvent) {
+	bw.WriteString(`{"name":`)
+	bw.Write(jsonString(e.name))
+	if e.cat != "" {
+		bw.WriteString(`,"cat":`)
+		bw.Write(jsonString(e.cat))
+	}
+	bw.WriteString(`,"ph":"`)
+	bw.WriteByte(e.ph)
+	bw.WriteByte('"')
+	if e.ph != 'M' {
+		bw.WriteString(`,"ts":`)
+		bw.WriteString(formatUs(e.tsNs))
+		if e.ph == 'X' {
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(formatUs(e.durNs))
+		}
+		if e.ph == 'i' {
+			bw.WriteString(`,"s":"t"`)
+		}
+	}
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.Itoa(e.pid))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.Itoa(e.tid))
+	if len(e.args) > 0 {
+		bw.WriteString(`,"args":{`)
+		for i, a := range e.args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.Write(jsonString(a.Key))
+			bw.WriteByte(':')
+			bw.Write(jsonValue(a.Val))
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// formatUs renders nanoseconds as decimal microseconds with no
+// floating-point round trip: "1234" ns -> "1.234".
+func formatUs(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	if ns%1000 == 0 {
+		return neg + strconv.FormatInt(ns/1000, 10)
+	}
+	frac := strconv.FormatInt(ns%1000, 10)
+	for len(frac) < 3 {
+		frac = "0" + frac
+	}
+	for frac[len(frac)-1] == '0' {
+		frac = frac[:len(frac)-1]
+	}
+	return neg + strconv.FormatInt(ns/1000, 10) + "." + frac
+}
+
+func jsonString(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return []byte(`"?"`)
+	}
+	return b
+}
+
+func jsonValue(v interface{}) []byte {
+	switch x := v.(type) {
+	case string:
+		return jsonString(x)
+	case int:
+		return []byte(strconv.Itoa(x))
+	case int64:
+		return []byte(strconv.FormatInt(x, 10))
+	case bool:
+		return []byte(strconv.FormatBool(x))
+	case float64:
+		return []byte(strconv.FormatFloat(x, 'g', -1, 64))
+	case sim.Time:
+		return []byte(strconv.FormatInt(int64(x), 10))
+	default:
+		return jsonString(fmt.Sprint(v))
+	}
+}

@@ -117,6 +117,18 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
 
+// Observer receives scheduling callbacks from the engine, giving
+// observability layers access to the virtual clock at the moments
+// ranks block and resume. Callbacks run under the cooperative
+// scheduler (never concurrently) and must not block or re-enter the
+// engine.
+type Observer interface {
+	// RankParked fires when a rank blocks; why is the park reason.
+	RankParked(rank int, why string, at Time)
+	// RankResumed fires when a previously parked rank resumes running.
+	RankResumed(rank int, at Time)
+}
+
 // Engine runs a fixed set of rank goroutines to completion under a
 // virtual clock.
 type Engine struct {
@@ -129,6 +141,7 @@ type Engine struct {
 	schedWake chan struct{}
 	failure   error // first panic captured from a rank body
 	stats     Stats
+	obs       Observer
 
 	// MaxTime, when nonzero, aborts Run with ErrTimeLimit once the
 	// virtual clock passes it — a watchdog against virtual livelock
@@ -163,6 +176,10 @@ func (e *Engine) Now() Time { return e.now }
 // Stats returns engine counters. Valid after Run has returned.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Observe installs a scheduling observer (nil to remove). Call before
+// Run.
+func (e *Engine) Observe(o Observer) { e.obs = o }
+
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // It may be called from a rank body or from another handler. Handlers
 // run in the scheduler goroutine and must not block.
@@ -195,10 +212,16 @@ func (p *Proc) Park(why string) {
 	p.state = stateParked
 	p.why = why
 	e.stats.Parks++
+	if e.obs != nil {
+		e.obs.RankParked(p.id, why, e.now)
+	}
 	e.schedWake <- struct{}{} // hand control to the scheduler
 	<-p.wake                  // wait to be resumed
 	p.state = stateRunning
 	p.why = ""
+	if e.obs != nil {
+		e.obs.RankResumed(p.id, e.now)
+	}
 }
 
 // Unpark marks a parked rank runnable. It may be called from event
