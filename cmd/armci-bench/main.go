@@ -7,6 +7,7 @@
 //	armci-bench -fig 3 [-platform bgp|ib|xt5|xe6] [-quick]
 //	armci-bench -fig 4 [-platform ...] [-op get|put|acc] [-quick]
 //	armci-bench -fig 5 [-quick]
+//	armci-bench -fig ablation-shm [-platform ...] [-quick]
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
 //
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "3", "what to regenerate: 3, 4, 5, 6? use nwchem-bench; ablations, table2, all")
+	fig := flag.String("fig", "3", "what to regenerate: 3, 4, 5, 6? use nwchem-bench; ablation-shm, ablations, table2, all")
 	plat := flag.String("platform", "", "platform (bgp, ib, xt5, xe6); empty = all")
 	op := flag.String("op", "", "operation filter for fig 4 (get, put, acc); empty = all")
 	quick := flag.Bool("quick", false, "reduced sweeps")
@@ -64,7 +65,7 @@ func platforms(name string) ([]*platform.Platform, error) {
 
 func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir string) error {
 	switch fig {
-	case "3", "4", "5", "ablations", "table2", "all":
+	case "3", "4", "5", "ablation-shm", "ablations", "table2", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -184,6 +185,33 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 			return err
 		}
 		if fig == "5" {
+			return nil
+		}
+	}
+	if fig == "ablation-shm" || fig == "all" {
+		cfg := bench.DefaultShmAblation()
+		if quick {
+			cfg = bench.QuickShmAblation()
+		}
+		cfg.Obs = rec
+		// Default to InfiniBand (the platform the shm acceptance
+		// criterion is stated on); -platform selects another.
+		name := plat
+		if name == "" {
+			name = platform.InfiniBand
+		}
+		p, err := platform.Lookup(name)
+		if err != nil {
+			return err
+		}
+		f, err := bench.AblationShm(p, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(f, jsonDir); err != nil {
+			return err
+		}
+		if fig == "ablation-shm" {
 			return nil
 		}
 	}

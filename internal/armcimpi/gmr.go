@@ -80,6 +80,11 @@ type Options struct {
 	// coherent systems where the MPI implementation allows concurrent
 	// access, SectionV.E.1).
 	NoStaging bool
+	// NoShm disables the intra-node shared-memory fast path: GMR and
+	// mutex windows are created with plain MPI_Win_create instead of
+	// the Win_allocate_shared flavor, forcing same-node traffic through
+	// the RMA path (the ablation baseline).
+	NoShm bool
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -152,9 +157,20 @@ type Runtime struct {
 	R   *mpi.Rank
 	Opt Options
 
-	coll    armci.MPIColl
-	dla     map[int64]*GMR    // open direct-local-access sections by base VA
-	pending map[*mpi.Win]bool // windows with unfenced MPI-3 request ops
+	coll armci.MPIColl
+	dla  map[int64]dlaSection // open direct-local-access sections by base VA
+
+	// Outstanding MPI-3 request ops, tracked per window and per target
+	// (window rank) so Fence(proc) can flush just that target.
+	// pendingOrder keeps deterministic iteration order.
+	pending      map[*mpi.Win]map[int]bool
+	pendingOrder []*mpi.Win
+}
+
+// dlaSection is one open AccessBegin section.
+type dlaSection struct {
+	g *GMR
+	n int
 }
 
 // New creates the per-rank ARMCI-MPI runtime handle.
@@ -162,9 +178,44 @@ func New(w *World, r *mpi.Rank, opt Options) *Runtime {
 	return &Runtime{
 		W: w, R: r, Opt: opt,
 		coll:    armci.MPIColl{R: r},
-		dla:     map[int64]*GMR{},
-		pending: map[*mpi.Win]bool{},
+		dla:     map[int64]dlaSection{},
+		pending: map[*mpi.Win]map[int]bool{},
 	}
+}
+
+// addPending records an unfenced nonblocking op on win targeting the
+// given window rank.
+func (r *Runtime) addPending(win *mpi.Win, gr int) {
+	set := r.pending[win]
+	if set == nil {
+		set = map[int]bool{}
+		r.pending[win] = set
+		r.pendingOrder = append(r.pendingOrder, win)
+	}
+	set[gr] = true
+}
+
+// dropPending forgets all outstanding-op tracking for win.
+func (r *Runtime) dropPending(win *mpi.Win) {
+	if _, ok := r.pending[win]; !ok {
+		return
+	}
+	delete(r.pending, win)
+	for i, w := range r.pendingOrder {
+		if w == win {
+			r.pendingOrder = append(r.pendingOrder[:i], r.pendingOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// winCreate creates a GMR/mutex backing window, using the shared
+// flavor (intra-node fast path) unless disabled.
+func (r *Runtime) winCreate(comm *mpi.Comm, reg *fabric.Region) (*mpi.Win, error) {
+	if r.Opt.NoShm {
+		return mpi.WinCreate(comm, reg)
+	}
+	return mpi.WinCreateShared(comm, reg)
 }
 
 var _ armci.Runtime = (*Runtime)(nil)
@@ -219,7 +270,7 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	}
 	// Create the MPI window over the group's communicator and exchange
 	// base addresses (the all-to-all of SectionV.B).
-	win, err := mpi.WinCreate(comm, reg)
+	win, err := r.winCreate(comm, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +366,7 @@ func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr) error {
 	if err := r.ensureNoLockAll(win); err != nil {
 		return err
 	}
-	delete(r.pending, win)
+	r.dropPending(win)
 	if err := win.Free(); err != nil {
 		return err
 	}

@@ -37,7 +37,7 @@ func (r *Runtime) AccessBegin(addr armci.Addr, n int) ([]byte, error) {
 	} else if err := win.Lock(mpi.LockExclusive, gr); err != nil {
 		return nil, err
 	}
-	r.dla[addr.VA] = g
+	r.dla[addr.VA] = dlaSection{g: g, n: n}
 	reg := r.W.Mpi.M.Space(r.Rank()).Find(addr.VA, n)
 	if reg == nil {
 		return nil, fmt.Errorf("armcimpi: AccessBegin: %v(+%d) out of bounds", addr, n)
@@ -48,7 +48,7 @@ func (r *Runtime) AccessBegin(addr armci.Addr, n int) ([]byte, error) {
 // AccessEnd completes a direct access section, releasing the exclusive
 // self-lock (and with it, publishing the private copy).
 func (r *Runtime) AccessEnd(addr armci.Addr) error {
-	g, open := r.dla[addr.VA]
+	sec, open := r.dla[addr.VA]
 	if !open {
 		return fmt.Errorf("armcimpi: AccessEnd without AccessBegin at %v", addr)
 	}
@@ -56,8 +56,8 @@ func (r *Runtime) AccessEnd(addr armci.Addr) error {
 	if r.Opt.UseMPI3 {
 		return nil // lock-all stays open; coherence publishes the stores
 	}
-	gr := g.rankOf[r.Rank()]
-	return g.wins[r.Rank()].Unlock(gr)
+	gr := sec.g.rankOf[r.Rank()]
+	return sec.g.wins[r.Rank()].Unlock(gr)
 }
 
 // SetAccessMode installs the SectionVIII.A access-mode hint on the

@@ -38,7 +38,7 @@ func newMutexes(r *Runtime, parent *mpi.Comm, n int) (*Mutexes, error) {
 		counts[i] = int(c)
 	}
 	reg := r.R.AllocMem(n * comm.Size())
-	win, err := mpi.WinCreate(comm, reg)
+	win, err := r.winCreate(comm, reg)
 	if err != nil {
 		return nil, err
 	}

@@ -256,8 +256,12 @@ func (r *Runtime) iov(class opClass, scale float64, iov []armci.GIOV, proc int, 
 }
 
 // iovAuto scans the descriptor with the conflict tree (SectionVI.B):
-// if all remote segments fall in one GMR and do not overlap, the fast
-// method is safe; otherwise fall back to conservative.
+// if all remote segments fall in one GMR and the destination segments
+// do not overlap, the fast method is safe; otherwise fall back to
+// conservative. The overlap check runs on the destination side — the
+// remote side for put and accumulate, the local side for get: two
+// segments writing the same bytes within one epoch may land in either
+// order, whereas overlapping get sources are read-read and harmless.
 func (r *Runtime) iovAuto(class opClass, scale float64, segs []iovSeg, proc int) error {
 	r.W.AutoScans++
 	safe := true
@@ -275,8 +279,12 @@ func (r *Runtime) iovAuto(class opClass, scale float64, segs []iovSeg, proc int)
 			safe = false // segments correspond to different GMRs
 			break
 		}
-		if !tree.Insert(sg.remote.VA, sg.remote.VA+int64(sg.n)) {
-			safe = false // overlapping segments
+		dst := sg.remote.VA
+		if class == classGet {
+			dst = sg.local.VA
+		}
+		if !tree.Insert(dst, dst+int64(sg.n)) {
+			safe = false // overlapping destination segments
 			break
 		}
 	}
@@ -323,6 +331,17 @@ func (r *Runtime) iovBatched(class opClass, scale float64, segs []iovSeg, proc i
 	for _, sg := range segs {
 		if _, _, _, inGMR := r.W.find(sg.local); inGMR && !r.Opt.NoStaging {
 			return r.iovConservative(class, scale, segs)
+		}
+	}
+	if class == classGet {
+		// Gets land in local destinations: aliased destinations within
+		// one epoch would be written in arbitrary order, so serialize
+		// them through the per-segment path.
+		var tree conflicttree.Tree
+		for _, sg := range segs {
+			if !tree.Insert(sg.local.VA, sg.local.VA+int64(sg.n)) {
+				return r.iovConservative(class, scale, segs)
+			}
 		}
 	}
 	g, gr, _, err := r.remoteGMR(segs[0].remote)

@@ -44,10 +44,27 @@ type localView struct {
 	// one (the temp region mirrors the span starting there).
 	base   int64
 	staged bool
-	orig   armci.Addr
-	span   int
-	g      *GMR
-	myRank int // my rank in g's window
+	// dlaOwned marks a staged span that lies inside an open AccessBegin
+	// section: the exclusive self-lock is already held by the DLA
+	// section, so the staging copies must not (and safely need not)
+	// take it again.
+	dlaOwned bool
+	orig     armci.Addr
+	span     int
+	g        *GMR
+	myRank   int // my rank in g's window
+}
+
+// dlaCovers reports whether [va, va+span) lies entirely inside an open
+// AccessBegin section of the same GMR. Any-match over the open
+// sections, so map iteration order does not matter.
+func (r *Runtime) dlaCovers(g *GMR, va int64, span int) bool {
+	for secVA, sec := range r.dla {
+		if sec.g == g && va >= secVA && va+int64(span) <= secVA+int64(sec.n) {
+			return true
+		}
+	}
+	return false
 }
 
 // acquireLocal prepares [addr, addr+span) for use as the local side.
@@ -68,23 +85,31 @@ func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
 	if !inGMR || r.Opt.NoStaging || r.Opt.UseMPI3 {
 		return &localView{reg: reg, base: reg.VA}, nil
 	}
-	// Stage: copy the span out under an exclusive self-lock.
+	// Stage: copy the span out under an exclusive self-lock. If the span
+	// lies inside an open DLA section, that section already holds the
+	// exclusive self-lock — re-locking would deadlock behind ourselves,
+	// so copy directly under the section's protection instead.
 	t0 := r.R.P.Now()
 	tmp := r.R.AllocMem(span)
 	win := g.wins[r.Rank()]
-	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
-		return nil, err
+	owned := r.dlaCovers(g, addr.VA, span)
+	if !owned {
+		if err := win.Lock(mpi.LockExclusive, gr); err != nil {
+			return nil, err
+		}
 	}
 	m.CopyLocal(r.R.P, span)
 	copy(tmp.Data, reg.Bytes(addr.VA, span))
-	if err := win.Unlock(gr); err != nil {
-		return nil, err
+	if !owned {
+		if err := win.Unlock(gr); err != nil {
+			return nil, err
+		}
 	}
 	r.W.Staged++
 	o := r.obs()
 	o.Inc(r.Rank(), obs.CStaged)
 	o.Span(r.Rank(), "armci", "stage", t0, r.R.P.Now(), obs.A("bytes", span))
-	return &localView{reg: tmp, base: addr.VA, staged: true, orig: addr, span: span, g: g, myRank: gr}, nil
+	return &localView{reg: tmp, base: addr.VA, staged: true, dlaOwned: owned, orig: addr, span: span, g: g, myRank: gr}, nil
 }
 
 // release finishes with a local view; when writeBack is set (get
@@ -96,14 +121,18 @@ func (r *Runtime) release(v *localView, writeBack bool) error {
 	m := r.W.Mpi.M
 	if writeBack {
 		win := v.g.wins[r.Rank()]
-		if err := win.Lock(mpi.LockExclusive, v.myRank); err != nil {
-			return err
+		if !v.dlaOwned {
+			if err := win.Lock(mpi.LockExclusive, v.myRank); err != nil {
+				return err
+			}
 		}
 		m.CopyLocal(r.R.P, v.span)
 		orig := m.Space(r.Rank()).Find(v.orig.VA, v.span)
 		copy(orig.Bytes(v.orig.VA, v.span), v.reg.Data[:v.span])
-		if err := win.Unlock(v.myRank); err != nil {
-			return err
+		if !v.dlaOwned {
+			if err := win.Unlock(v.myRank); err != nil {
+				return err
+			}
 		}
 	}
 	return r.W.Mpi.M.Space(r.Rank()).Free(v.reg.VA)
@@ -251,10 +280,22 @@ func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int)
 
 // completedHandle is the handle for "nonblocking" operations: MPI-2
 // has no request-based RMA (SectionVIII.B), so ARMCI-MPI's nonblocking
-// operations complete before returning.
+// operations complete before returning. The handle is only constructed
+// after Unlock returns — a handle must never report completion while
+// its epoch is still open.
 type completedHandle struct{}
 
 func (completedHandle) Wait() {}
+
+// failedHandle is returned alongside the error when an immediate-mode
+// nonblocking operation fails. Callers that ignore the error and Wait
+// anyway must not silently proceed on garbage data, so Wait re-raises
+// the failure.
+type failedHandle struct{ err error }
+
+func (h failedHandle) Wait() {
+	panic(fmt.Sprintf("armcimpi: Wait on failed nonblocking operation: %v", h.err))
+}
 
 // NbPut issues a put. Under MPI-2 there are no request-based RMA
 // operations (SectionVIII.B), so the call completes before returning;
@@ -263,7 +304,7 @@ func (completedHandle) Wait() {}
 func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
 	if !r.Opt.UseMPI3 {
 		if err := r.Put(src, dst, n); err != nil {
-			return nil, err
+			return failedHandle{err: err}, err
 		}
 		return completedHandle{}, nil
 	}
@@ -286,7 +327,7 @@ func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.pending[win] = true
+	r.addPending(win, gr)
 	return nb3Handle{req: req}, nil
 }
 
@@ -295,7 +336,7 @@ func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
 func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
 	if !r.Opt.UseMPI3 {
 		if err := r.Get(src, dst, n); err != nil {
-			return nil, err
+			return failedHandle{err: err}, err
 		}
 		return completedHandle{}, nil
 	}
@@ -329,7 +370,7 @@ func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
 func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
 	if !r.Opt.UseMPI3 {
 		if err := r.PutS(s); err != nil {
-			return nil, err
+			return failedHandle{err: err}, err
 		}
 		return completedHandle{}, nil
 	}
@@ -354,7 +395,7 @@ func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.pending[win] = true
+	r.addPending(win, gr)
 	return nb3Handle{req: req}, nil
 }
 
@@ -364,7 +405,7 @@ func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
 func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
 	if !r.Opt.UseMPI3 {
 		if err := r.GetS(s); err != nil {
-			return nil, err
+			return failedHandle{err: err}, err
 		}
 		return completedHandle{}, nil
 	}
@@ -394,21 +435,42 @@ func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
 
 // Fence ensures remote completion of prior operations to proc. Under
 // MPI-2 it is a no-op — every operation completes within its own epoch
-// (SectionV.F). Under MPI-3 it flushes windows with pending
-// request-based operations.
-func (r *Runtime) Fence(proc int) { r.AllFence() }
+// (SectionV.F). Under MPI-3 it flushes only the windows with pending
+// request-based operations targeting proc: a per-target flush, not a
+// FlushAll, so fencing one target does not pay for (or complete) the
+// outstanding traffic to every other target.
+func (r *Runtime) Fence(proc int) {
+	if !r.Opt.UseMPI3 || len(r.pending) == 0 {
+		return
+	}
+	for _, win := range append([]*mpi.Win(nil), r.pendingOrder...) {
+		targets := r.pending[win]
+		gr := win.Comm().RankOfWorld(proc)
+		if targets == nil || gr < 0 || !targets[gr] {
+			continue
+		}
+		if err := win.Flush(gr); err != nil {
+			panic(fmt.Sprintf("armcimpi: fence flush failed: %v", err))
+		}
+		delete(targets, gr)
+		if len(targets) == 0 {
+			r.dropPending(win)
+		}
+	}
+}
 
 // AllFence fences every target.
 func (r *Runtime) AllFence() {
 	if !r.Opt.UseMPI3 || len(r.pending) == 0 {
 		return
 	}
-	for win := range r.pending {
+	for _, win := range append([]*mpi.Win(nil), r.pendingOrder...) {
 		if err := win.FlushAll(); err != nil {
 			panic(fmt.Sprintf("armcimpi: fence flush failed: %v", err))
 		}
 	}
-	r.pending = map[*mpi.Win]bool{}
+	r.pending = map[*mpi.Win]map[int]bool{}
+	r.pendingOrder = nil
 }
 
 // Barrier synchronizes all processes (communication is already fenced).

@@ -1,0 +1,399 @@
+package armcimpi
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Two cores per node in the test fabric (see run): ranks 0 and 1 share
+// a node, rank 2 is one node away.
+
+func TestShmIntraNodePutGetCorrect(t *testing.T) {
+	for _, noShm := range []bool{false, true} {
+		opt := DefaultOptions()
+		opt.NoShm = noShm
+		run(t, 2, opt, func(rt *Runtime) {
+			addrs, err := rt.Malloc(256)
+			must(t, err)
+			if rt.Rank() == 0 {
+				src := rt.MallocLocal(256)
+				mem, err := rt.LocalBytes(src, 256)
+				must(t, err)
+				for i := range mem {
+					mem[i] = byte(i*3 + 1)
+				}
+				must(t, rt.Put(src, addrs[1], 256))
+				dst := rt.MallocLocal(256)
+				must(t, rt.Get(addrs[1], dst, 256))
+				got, err := rt.LocalBytes(dst, 256)
+				must(t, err)
+				for i := range got {
+					if got[i] != byte(i*3+1) {
+						t.Fatalf("noShm=%v: byte %d = %d, want %d", noShm, i, got[i], byte(i*3+1))
+					}
+				}
+			}
+			rt.Barrier()
+			must(t, rt.Free(addrs[rt.Rank()]))
+		})
+	}
+}
+
+func TestShmIntraNodeFasterThanRMA(t *testing.T) {
+	elapsed := func(noShm bool) sim.Time {
+		opt := DefaultOptions()
+		opt.NoShm = noShm
+		var d sim.Time
+		run(t, 2, opt, func(rt *Runtime) {
+			addrs, err := rt.Malloc(4 << 20)
+			must(t, err)
+			if rt.Rank() == 0 {
+				src := rt.MallocLocal(4 << 20)
+				must(t, rt.Put(src, addrs[1], 4<<20)) // warm up
+				start := rt.Proc().Now()
+				for i := 0; i < 4; i++ {
+					must(t, rt.Put(src, addrs[1], 4<<20))
+				}
+				d = rt.Proc().Now() - start
+			}
+			rt.Barrier()
+			must(t, rt.Free(addrs[rt.Rank()]))
+		})
+		return d
+	}
+	shm, rma := elapsed(false), elapsed(true)
+	if shm >= rma {
+		t.Errorf("intra-node put over shm (%v) not faster than RMA windows (%v)", shm, rma)
+	}
+}
+
+func TestShmCrossNodeUnaffected(t *testing.T) {
+	// Ranks 0 and 2 are on different nodes: the shared window flavor
+	// must leave cross-node operation timing exactly as before.
+	elapsed := func(noShm bool) sim.Time {
+		opt := DefaultOptions()
+		opt.NoShm = noShm
+		var d sim.Time
+		run(t, 3, opt, func(rt *Runtime) {
+			addrs, err := rt.Malloc(1 << 20)
+			must(t, err)
+			if rt.Rank() == 0 {
+				src := rt.MallocLocal(1 << 20)
+				start := rt.Proc().Now()
+				must(t, rt.Put(src, addrs[2], 1<<20))
+				must(t, rt.Get(addrs[2], src, 1<<20))
+				d = rt.Proc().Now() - start
+			}
+			rt.Barrier()
+			must(t, rt.Free(addrs[rt.Rank()]))
+		})
+		return d
+	}
+	if shm, rma := elapsed(false), elapsed(true); shm != rma {
+		t.Errorf("cross-node timing differs with shm on (%v) vs off (%v)", shm, rma)
+	}
+}
+
+func TestShmRmwAndMutexIntraNode(t *testing.T) {
+	// RMW through the shared segment: both the MPI-3 fetch-and-op fast
+	// path and the MPI-2 mutex emulation must stay atomic when origin
+	// and target share a node.
+	for _, mpi3 := range []bool{false, true} {
+		opt := DefaultOptions()
+		opt.UseMPI3 = mpi3
+		run(t, 2, opt, func(rt *Runtime) {
+			addrs, err := rt.Malloc(8)
+			must(t, err)
+			for i := 0; i < 5; i++ {
+				if _, err := rt.Rmw(armci.FetchAndAdd, addrs[0], 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rt.Barrier()
+			if rt.Rank() == 0 {
+				old, err := rt.Rmw(armci.FetchAndAdd, addrs[0], 0)
+				must(t, err)
+				if old != 10 {
+					t.Errorf("mpi3=%v: counter = %d, want 10", mpi3, old)
+				}
+			}
+			rt.Barrier()
+			must(t, rt.Free(addrs[rt.Rank()]))
+		})
+	}
+}
+
+func TestFencePerTargetCompletesOnlyThatTarget(t *testing.T) {
+	// Fence(p) must flush outstanding operations to p only: fencing a
+	// target with a small put pending must not wait out the multi-MB
+	// transfer still in flight to a different target.
+	opt := DefaultOptions()
+	opt.UseMPI3 = true
+	var fenceSmall, fenceBig sim.Time
+	run(t, 6, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(4 << 20)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(4 << 20)
+			// Small put first: issued later it would queue behind the
+			// 4 MB injection on the origin NIC.
+			_, err := rt.NbPut(src, addrs[4], 64) // small, one node
+			must(t, err)
+			_, err = rt.NbPut(src, addrs[2], 4<<20) // big, another node
+			must(t, err)
+			start := rt.Proc().Now()
+			rt.Fence(4)
+			fenceSmall = rt.Proc().Now() - start
+			start = rt.Proc().Now()
+			rt.Fence(2)
+			fenceBig = rt.Proc().Now() - start
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if fenceSmall*4 >= fenceBig {
+		t.Errorf("Fence(small target) took %v vs Fence(big target) %v; per-target fence should not complete the other target's transfer", fenceSmall, fenceBig)
+	}
+}
+
+func TestFenceAfterAllTargetsFencedIsFree(t *testing.T) {
+	opt := DefaultOptions()
+	opt.UseMPI3 = true
+	run(t, 4, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(1024)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(1024)
+			_, err := rt.NbPut(src, addrs[2], 1024)
+			must(t, err)
+			rt.Fence(2)
+			before := rt.Proc().Now()
+			rt.Fence(2) // nothing pending to 2 anymore
+			rt.AllFence()
+			if rt.Proc().Now() != before {
+				t.Error("Fence with no pending operations advanced time")
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestWaitOnFailedNonblockingOpPanics(t *testing.T) {
+	run(t, 2, DefaultOptions(), func(rt *Runtime) {
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(64)
+			bogus := armci.Addr{Rank: 1, VA: 0x7fffffff} // not in any GMR
+			h, err := rt.NbPut(src, bogus, 64)
+			if err == nil {
+				t.Fatal("NbPut to a bogus address succeeded")
+			}
+			if h == nil {
+				t.Fatal("NbPut returned a nil handle; Wait must surface the failure")
+			}
+			defer func() {
+				if recover() == nil {
+					t.Error("Wait on a failed nonblocking op did not panic")
+				}
+			}()
+			h.Wait()
+		}
+	})
+}
+
+func TestIOVGetAliasedLocalDestinationsFallBack(t *testing.T) {
+	// Two get segments landing in the same local bytes: the auto scan
+	// must detect the destination alias and take the conservative path,
+	// whose per-segment epochs apply in program order (second wins).
+	opt := DefaultOptions()
+	opt.IOVMethod = MethodAuto
+	w := run(t, 3, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(256)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(256)
+			mem, err := rt.LocalBytes(src, 256)
+			must(t, err)
+			for i := range mem {
+				mem[i] = byte(i)
+			}
+			must(t, rt.Put(src, addrs[2], 256))
+			dst := rt.MallocLocal(64)
+			iov := []armci.GIOV{{
+				Src:   []armci.Addr{addrs[2], addrs[2].Add(128)},
+				Dst:   []armci.Addr{dst, dst}, // aliased destination
+				Bytes: 64,
+			}}
+			must(t, rt.GetV(iov, 2))
+			got, err := rt.LocalBytes(dst, 64)
+			must(t, err)
+			for i := range got {
+				if got[i] != byte(i+128) {
+					t.Fatalf("byte %d = %d, want %d (second segment must win)", i, got[i], byte(i+128))
+				}
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if w.AutoFalls == 0 {
+		t.Error("auto scan did not fall back on aliased get destinations")
+	}
+}
+
+func TestIOVGetOverlappingSourcesStayFast(t *testing.T) {
+	// Overlapping get sources are read-read: no destination conflict,
+	// so the auto scan must keep the fast method.
+	opt := DefaultOptions()
+	opt.IOVMethod = MethodAuto
+	w := run(t, 3, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(256)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(256)
+			mem, err := rt.LocalBytes(src, 256)
+			must(t, err)
+			for i := range mem {
+				mem[i] = byte(i ^ 0x5a)
+			}
+			must(t, rt.Put(src, addrs[2], 256))
+			dst := rt.MallocLocal(128)
+			iov := []armci.GIOV{{
+				Src:   []armci.Addr{addrs[2], addrs[2]}, // same remote range
+				Dst:   []armci.Addr{dst, dst.Add(64)},
+				Bytes: 64,
+			}}
+			must(t, rt.GetV(iov, 2))
+			got, err := rt.LocalBytes(dst, 128)
+			must(t, err)
+			for i := 0; i < 64; i++ {
+				if got[i] != byte(i^0x5a) || got[i+64] != byte(i^0x5a) {
+					t.Fatalf("byte %d: got %d/%d, want %d", i, got[i], got[i+64], byte(i^0x5a))
+				}
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if w.AutoScans == 0 {
+		t.Fatal("auto scan did not run")
+	}
+	if w.AutoFalls != 0 {
+		t.Error("auto scan fell back on overlapping get sources (read-read is safe)")
+	}
+}
+
+func TestIOVBatchedAliasedGetDestinationsSerialize(t *testing.T) {
+	// The batched method, selected directly (no auto scan), must also
+	// refuse to batch gets with aliased destinations.
+	opt := DefaultOptions()
+	opt.IOVMethod = MethodBatched
+	run(t, 3, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(256)
+		must(t, err)
+		if rt.Rank() == 0 {
+			src := rt.MallocLocal(256)
+			mem, err := rt.LocalBytes(src, 256)
+			must(t, err)
+			for i := range mem {
+				mem[i] = byte(255 - i)
+			}
+			must(t, rt.Put(src, addrs[2], 256))
+			dst := rt.MallocLocal(64)
+			iov := []armci.GIOV{{
+				Src:   []armci.Addr{addrs[2], addrs[2].Add(128)},
+				Dst:   []armci.Addr{dst, dst},
+				Bytes: 64,
+			}}
+			must(t, rt.GetV(iov, 2))
+			got, err := rt.LocalBytes(dst, 64)
+			must(t, err)
+			for i := range got {
+				if got[i] != byte(255-(i+128)) {
+					t.Fatalf("byte %d = %d, want %d (second segment must win)", i, got[i], byte(255-(i+128)))
+				}
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+func TestAccSourceInsideOpenDLASection(t *testing.T) {
+	// SectionV.E: an accumulate whose source lies inside an open
+	// AccessBegin section of the same GMR. The DLA section already holds
+	// the exclusive self-lock, so the staging copy must not take it
+	// again (re-locking deadlocks behind the open section).
+	run(t, 2, DefaultOptions(), func(rt *Runtime) {
+		g1, err := rt.Malloc(128)
+		must(t, err)
+		g2, err := rt.Malloc(128)
+		must(t, err)
+		if rt.Rank() == 0 {
+			mem, err := rt.AccessBegin(g1[0], 128)
+			must(t, err)
+			vals := mpi.BytesToF64s(mem)
+			for i := range vals {
+				vals[i] = float64(i + 1)
+			}
+			copy(mem, mpi.F64sToBytes(vals))
+			// Source overlaps the open section; scale forces the
+			// prescale staging path too.
+			must(t, rt.Acc(armci.AccDbl, 3, g1[0], g2[1], 128))
+			must(t, rt.AccessEnd(g1[0]))
+		}
+		rt.Barrier()
+		if rt.Rank() == 1 {
+			mem, err := rt.AccessBegin(g2[1], 128)
+			must(t, err)
+			vals := mpi.BytesToF64s(mem)
+			for i, v := range vals {
+				if want := 3 * float64(i+1); v != want {
+					t.Fatalf("element %d = %v, want %v", i, v, want)
+				}
+			}
+			must(t, rt.AccessEnd(g2[1]))
+		}
+		rt.Barrier()
+		must(t, rt.Free(g1[rt.Rank()]))
+		must(t, rt.Free(g2[rt.Rank()]))
+	})
+}
+
+func TestGetIntoOpenDLASection(t *testing.T) {
+	// A get landing inside an open DLA section: the staged write-back
+	// must reuse the section's lock instead of re-acquiring it, and the
+	// data must be visible through the section's mapping immediately.
+	run(t, 2, DefaultOptions(), func(rt *Runtime) {
+		g1, err := rt.Malloc(128)
+		must(t, err)
+		g2, err := rt.Malloc(128)
+		must(t, err)
+		if rt.Rank() == 1 {
+			mem, err := rt.AccessBegin(g2[1], 128)
+			must(t, err)
+			for i := range mem {
+				mem[i] = byte(i * 5)
+			}
+			must(t, rt.AccessEnd(g2[1]))
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			mem, err := rt.AccessBegin(g1[0], 128)
+			must(t, err)
+			must(t, rt.Get(g2[1], g1[0], 128))
+			for i := range mem {
+				if mem[i] != byte(i*5) {
+					t.Fatalf("byte %d = %d, want %d after get into DLA section", i, mem[i], byte(i*5))
+				}
+			}
+			must(t, rt.AccessEnd(g1[0]))
+		}
+		rt.Barrier()
+		must(t, rt.Free(g1[rt.Rank()]))
+		must(t, rt.Free(g2[rt.Rank()]))
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/nwchem"
 	"repro/internal/platform"
 )
 
@@ -264,9 +265,22 @@ func TestFig6Shapes(t *testing.T) {
 		}
 	})
 	t.Run("strong-scaling", func(t *testing.T) {
+		// A larger problem than the quick sweep: 8 IB cores are one
+		// node, where the shm fast path makes the quick problem
+		// communication-trivial — only a compute-bearing problem still
+		// gains from the second node's cores (the small-node-count
+		// shape change the shm path introduces in Figure 6).
 		plat := platform.Get(platform.InfiniBand)
-		t8 := phase(plat, harness.ImplARMCIMPI, 8)
-		t16 := phase(plat, harness.ImplARMCIMPI, 16)
+		p := nwchem.Params{NO: 6, NV: 32, Blk: 48, Iter: 1, Chunk: 4, FlopMult: 40}
+		big := func(cores int) float64 {
+			tm, err := NWChemPhase(plat, harness.ImplARMCIMPI, cores, p, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tm.Seconds()
+		}
+		t8 := big(8)
+		t16 := big(16)
 		if t16 >= t8 {
 			t.Errorf("CCSD did not scale: %0.3fs at 8 -> %.3fs at 16", t8, t16)
 		}

@@ -41,6 +41,14 @@ func runObserved(t *testing.T) (trace, stats, figJSON []byte) {
 		t.Fatalf("stridedBandwidthObs: %v", err)
 	}
 	fig.Series = append(fig.Series, st)
+	// The shm ablation covers the intra-node fast path (and its NoShm
+	// baseline) in the same deterministic artifact set.
+	shmCfg := ShmAblationConfig{MinExp: 3, MaxExp: 8, Iters: 1, SegBytes: 64, MaxSegs: 4, Obs: rec}
+	shmFig, err := AblationShm(plat, shmCfg)
+	if err != nil {
+		t.Fatalf("AblationShm: %v", err)
+	}
+	fig.Series = append(fig.Series, shmFig.Series...)
 
 	var tb, sb, fb bytes.Buffer
 	if err := rec.WriteTrace(&tb); err != nil {
@@ -82,6 +90,13 @@ func TestObservedBenchIsByteDeterministic(t *testing.T) {
 	if len(trace.TraceEvents) == 0 {
 		t.Fatal("trace has no events")
 	}
+	// The sweep includes intra-node jobs: their shm fast-path spans must
+	// show up in the trace.
+	for _, span := range []string{"put.shm", "get.shm"} {
+		if !bytes.Contains(tr1, []byte(span)) {
+			t.Errorf("trace has no %q span; shm fast path not exercised", span)
+		}
+	}
 	var stats map[string]interface{}
 	if err := json.Unmarshal(st1, &stats); err != nil {
 		t.Fatalf("stats is not valid JSON: %v", err)
@@ -90,7 +105,7 @@ func TestObservedBenchIsByteDeterministic(t *testing.T) {
 	if err := json.Unmarshal(fig1, &fig); err != nil {
 		t.Fatalf("figure is not valid JSON: %v", err)
 	}
-	if len(fig.Series) != 5 {
-		t.Errorf("figure has %d series, want 5", len(fig.Series))
+	if len(fig.Series) != 17 {
+		t.Errorf("figure has %d series, want 17 (5 base + 12 shm ablation)", len(fig.Series))
 	}
 }

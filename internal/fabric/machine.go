@@ -46,6 +46,12 @@ type Params struct {
 
 	// Target-side processing.
 	AccumRate float64 // rate at which a NIC/agent applies accumulates (B/s)
+
+	// Shared-memory segment model. ShmCopyRate is the CPU load/store
+	// copy rate between two processes mapping the same node-local
+	// segment (B/s). Zero falls back to LocalBandwidth, i.e. no
+	// dedicated fast path beyond the intra-node link model.
+	ShmCopyRate float64
 }
 
 // Validate reports the first problem with the parameter set.
@@ -89,6 +95,8 @@ type Machine struct {
 	MsgsSent    int64
 	BytesSent   int64
 	PagesPinned int64
+	ShmCopies   int64
+	ShmBytes    int64
 
 	// Obs, when non-nil, receives per-rank injection counters and
 	// per-node NIC link busy time. All hooks are nil-safe no-ops.

@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ShmSegment models one node's shared-memory segment: a set of regions,
+// one per participating rank on that node, that every co-located rank
+// can address directly with CPU loads and stores. Transfers through a
+// segment are plain memcpys — they never touch the NIC, occupy no link,
+// and need no memory registration; their cost is tied to the CPU copy
+// rate (Params.ShmCopyRate).
+type ShmSegment struct {
+	Node    int
+	regions map[int]*Region // world rank -> attached region
+}
+
+// NewShmSegment creates an (initially empty) shared segment on a node.
+func (m *Machine) NewShmSegment(node int) *ShmSegment {
+	return &ShmSegment{Node: node, regions: map[int]*Region{}}
+}
+
+// Attach maps rank's region into the segment. The rank must live on the
+// segment's node.
+func (s *ShmSegment) Attach(rank int, reg *Region) error {
+	if reg == nil {
+		return nil
+	}
+	if reg.Rank != rank {
+		return fmt.Errorf("fabric: shm attach: region belongs to rank %d, not %d", reg.Rank, rank)
+	}
+	s.regions[rank] = reg
+	return nil
+}
+
+// RegionOf returns the directly-addressable region a rank attached to
+// the segment (the Win_shared_query answer), or nil if the rank never
+// attached one.
+func (s *ShmSegment) RegionOf(rank int) *Region { return s.regions[rank] }
+
+// ShmRate returns the effective shared-memory copy rate in B/s.
+func (m *Machine) ShmRate() float64 {
+	if m.Par.ShmCopyRate > 0 {
+		return m.Par.ShmCopyRate
+	}
+	return m.Par.LocalBandwidth
+}
+
+// ShmCopyTime returns the virtual duration of a shared-memory copy of n
+// bytes without charging it.
+func (m *Machine) ShmCopyTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(n) / m.ShmRate())
+}
+
+// ShmCopy charges the calling rank the cost of moving n bytes through a
+// shared segment and records the transfer in the machine counters.
+func (m *Machine) ShmCopy(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	m.ShmAccount(n)
+	p.Elapse(m.ShmCopyTime(n))
+}
+
+// ShmAccount records a shared-memory transfer of n bytes whose time is
+// charged separately by the caller (e.g. a serialized accumulate).
+func (m *Machine) ShmAccount(n int) {
+	if n <= 0 {
+		return
+	}
+	m.ShmCopies++
+	m.ShmBytes += int64(n)
+}

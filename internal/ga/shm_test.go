@@ -1,0 +1,76 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// runGAOpt is runGA pinned to the ARMCI-MPI implementation with
+// explicit runtime options.
+func runGAOpt(t *testing.T, n int, opt armcimpi.Options, body func(t *testing.T, e *Env)) {
+	t.Helper()
+	j, err := harness.NewJob(harness.TestPlatform(), n, harness.ImplARMCIMPI, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Eng.Run(n, func(p *sim.Proc) {
+		rt := j.Runtime(p)
+		body(t, NewEnv(rt, j.MpiWorld.Rank(p)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGAResultsUnchangedByShmPath(t *testing.T) {
+	// The intra-node shared-memory fast path must be invisible to GA
+	// data semantics: a mixed put/acc/dot workload over 4 ranks (two
+	// nodes on the test platform, so both intra- and inter-node traffic)
+	// yields bit-identical numbers with the path on and off.
+	workload := func(noShm bool) (dot, norm float64) {
+		opt := armcimpi.DefaultOptions()
+		opt.NoShm = noShm
+		runGAOpt(t, 4, opt, func(t *testing.T, e *Env) {
+			a, err := e.Create("a", F64, []int{16, 16})
+			must(t, err)
+			b, err := e.Create("b", F64, []int{16, 16})
+			must(t, err)
+			if e.Me() == 0 {
+				vals := make([]float64, 256)
+				for i := range vals {
+					vals[i] = float64(i%17) * 0.5
+				}
+				must(t, a.Put([]int{0, 0}, []int{15, 15}, vals))
+				must(t, b.Put([]int{0, 0}, []int{15, 15}, vals))
+			}
+			e.Sync()
+			// Every rank accumulates into a patch it mostly does not own.
+			row := (4 * e.Me()) % 16
+			patch := make([]float64, 4*16)
+			for i := range patch {
+				patch[i] = float64(e.Me()+1) * 0.25
+			}
+			must(t, a.Acc([]int{row, 0}, []int{row + 3, 15}, patch, 2))
+			e.Sync()
+			d, err := Dot(a, b)
+			must(t, err)
+			n2, err := a.Norm2()
+			must(t, err)
+			if e.Me() == 0 {
+				dot, norm = d, n2
+			}
+		})
+		return dot, norm
+	}
+	dOn, nOn := workload(false)
+	dOff, nOff := workload(true)
+	if dOn != dOff || nOn != nOff {
+		t.Errorf("GA results differ with shm on/off: dot %v vs %v, norm %v vs %v",
+			dOn, dOff, nOn, nOff)
+	}
+	if dOn == 0 || nOn == 0 {
+		t.Error("degenerate workload: zero dot/norm")
+	}
+}

@@ -153,6 +153,7 @@ func TestPlatform() *platform.Platform {
 			CopyRate: 4e9, Flops: 1e9,
 			PageSize: 4096, PinPageNs: 0, BounceThreshold: 0,
 			BounceRate: 1e9, UnpinnedRate: 0.5e9, AccumRate: 1e9,
+			ShmCopyRate: 8e9,
 		},
 		Native: platform.Tuning{BandwidthFrac: 1, OpOverheadNs: 200, RmwRTTs: 1, PrepinAlloc: true},
 		MPI:    platform.Tuning{BandwidthFrac: 0.9, OpOverheadNs: 400},

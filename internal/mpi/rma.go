@@ -113,6 +113,11 @@ type winState struct {
 	locks   []*targetLock
 	err     error // first asynchronous semantic violation
 	freed   bool
+
+	// Win_allocate_shared flavor: same-node ranks map each other's
+	// regions directly and RMA to them degenerates to memcpys.
+	shared bool
+	segs   map[int]*fabric.ShmSegment // node -> segment
 }
 
 func (ws *winState) setErr(err error) {
@@ -160,6 +165,20 @@ type LocalBuf struct {
 // window's memory is registered with the interconnect at creation, as
 // MPI_Win_create does.
 func WinCreate(comm *Comm, region *fabric.Region) (*Win, error) {
+	return winCreate(comm, region, false)
+}
+
+// WinCreateShared creates a window with MPI_Win_allocate_shared
+// semantics: ranks sharing a node attach their regions to a per-node
+// shared segment, so RMA between them degenerates to direct load/store
+// (see SharedQuery), while cross-node access keeps the ordinary RMA
+// path. Creation cost is identical to WinCreate — the memory is still
+// exposed (and registered) for remote ranks.
+func WinCreateShared(comm *Comm, region *fabric.Region) (*Win, error) {
+	return winCreate(comm, region, true)
+}
+
+func winCreate(comm *Comm, region *fabric.Region, shared bool) (*Win, error) {
 	r := comm.r
 	w := r.W
 	// Rank 0 allocates the window id; bcast carries real cost.
@@ -184,6 +203,10 @@ func WinCreate(comm *Comm, region *fabric.Region) (*Win, error) {
 			regions: make([]*fabric.Region, comm.Size()),
 			sizes:   make([]int, comm.Size()),
 			locks:   make([]*targetLock, comm.Size()),
+			shared:  shared,
+		}
+		if shared {
+			ws.segs = map[int]*fabric.ShmSegment{}
 		}
 		for i := range ws.locks {
 			ws.locks[i] = &targetLock{}
@@ -192,12 +215,65 @@ func WinCreate(comm *Comm, region *fabric.Region) (*Win, error) {
 		w.wins[id] = ws
 	}
 	ws.regions[comm.rank] = region
+	if ws.shared && region != nil && region.Len > 0 {
+		node := w.M.NodeOf(r.ID())
+		seg := ws.segs[node]
+		if seg == nil {
+			seg = w.M.NewShmSegment(node)
+			ws.segs[node] = seg
+		}
+		if err := seg.Attach(r.ID(), region); err != nil {
+			return nil, err
+		}
+	}
 	// Register the exposed memory with the device (charged here).
 	if region != nil && region.Len > 0 {
 		r.P.Elapse(w.M.PinCost(region, fabric.DomainMPI))
 	}
 	comm.Barrier()
 	return &Win{state: ws, comm: comm, rank: comm.rank}, nil
+}
+
+// Shared reports whether the window was created with
+// Win_allocate_shared semantics.
+func (w *Win) Shared() bool { return w.state.shared }
+
+// SharedQuery returns the directly-addressable region of a same-node
+// target in a shared window (MPI_Win_shared_query). The second result
+// is false for cross-node targets, non-shared windows, or targets
+// exposing no memory.
+func (w *Win) SharedQuery(target int) (*fabric.Region, bool) {
+	ws := w.state
+	if !ws.shared || target < 0 || target >= len(ws.group) {
+		return nil, false
+	}
+	tw := ws.group[target]
+	me := w.comm.r.ID()
+	if !ws.w.M.SameNode(me, tw) {
+		return nil, false
+	}
+	seg := ws.segs[ws.w.M.NodeOf(me)]
+	if seg == nil {
+		return nil, false
+	}
+	reg := seg.RegionOf(tw)
+	if reg == nil {
+		return nil, false
+	}
+	return reg, true
+}
+
+// shmFast reports whether ops on target can take the intra-node
+// shared-memory path.
+func (w *Win) shmFast(target int) bool {
+	_, ok := w.SharedQuery(target)
+	return ok
+}
+
+// shmLatency is the cost of one shared-segment synchronization step
+// (lock-word CAS, release store): a node-local memory round trip.
+func (w *Win) shmLatency() sim.Time {
+	return sim.FromSeconds(w.state.w.M.Par.LocalLatencyNs / 1e9)
 }
 
 // Free collectively destroys the window. All epochs must be closed.
@@ -265,6 +341,15 @@ func (w *Win) Lock(lt LockType, target int) error {
 	eng := r.W.M.Eng
 	p := r.P
 
+	shm := w.shmFast(target)
+	notify := r.W.M.RoundTripTime(targetWorld, r.ID()) / 2
+	if shm {
+		// The lock word lives in the shared segment: acquiring it is a
+		// node-local CAS, with no control message and no target-side
+		// progress needed. Arbitration (shared/exclusive, FIFO queue) is
+		// unchanged.
+		notify = w.shmLatency()
+	}
 	ep := &epoch{target: target, ltype: lt}
 	w.cur = ep
 	granted := false
@@ -273,12 +358,15 @@ func (w *Win) Lock(lt LockType, target int) error {
 		ep.active = ae
 		tl.holders = append(tl.holders, ae)
 		// Grant notification travels back to the origin.
-		eng.At(at+r.W.M.RoundTripTime(targetWorld, r.ID())/2, func() {
+		eng.At(at+notify, func() {
 			granted = true
 			eng.Unpark(p)
 		})
 	}
-	arrive := r.control(targetWorld)
+	arrive := p.Now()
+	if !shm {
+		arrive = r.control(targetWorld)
+	}
 	eng.At(arrive, func() {
 		if tl.grantable(lt) {
 			grant(eng.Now())
@@ -367,15 +455,25 @@ func (w *Win) Unlock(target int) error {
 		}
 	}
 	// Unlock handshake: release at the target, ack back to the origin.
+	// On the shared-memory path the release is a node-local store on the
+	// lock word — no control message, no target-side progress.
 	done := false
-	arrive := r.control(targetWorld)
-	eng.At(arrive, func() {
-		ws.release(tl, ep.active, eng.Now())
-		eng.At(eng.Now()+r.W.M.RoundTripTime(targetWorld, r.ID())/2, func() {
+	if w.shmFast(target) {
+		eng.At(p.Now()+w.shmLatency(), func() {
+			ws.release(tl, ep.active, eng.Now())
 			done = true
 			eng.Unpark(p)
 		})
-	})
+	} else {
+		arrive := r.control(targetWorld)
+		eng.At(arrive, func() {
+			ws.release(tl, ep.active, eng.Now())
+			eng.At(eng.Now()+r.W.M.RoundTripTime(targetWorld, r.ID())/2, func() {
+				done = true
+				eng.Unpark(p)
+			})
+		})
+	}
 	for !done {
 		p.Park("mpi.WinUnlock")
 	}
@@ -567,6 +665,9 @@ func (w *Win) Put(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	if err != nil {
 		return err
 	}
+	if w.shmFast(target) {
+		return w.shmPut(buf, target, tdisp, ttype, ep, t0)
+	}
 	r := w.comm.r
 	m := r.W.M
 	data := w.pack(buf) // snapshot origin bytes at issue time
@@ -612,6 +713,52 @@ func bytesMetric(origin, target Datatype) string {
 	return obs.CBytesPacked
 }
 
+// shmPut is Put over the shared segment: one direct (possibly strided)
+// copy by the origin CPU, complete on return. No NIC, no registration.
+func (w *Win) shmPut(buf LocalBuf, target, tdisp int, ttype Datatype, ep *epoch, t0 sim.Time) error {
+	r := w.comm.r
+	m := r.W.M
+	treg, _ := w.SharedQuery(target)
+	src := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
+	data := packFrom(src, buf.Type)
+	m.ShmCopy(r.P, len(data))
+	if err := w.shmApply(func() {
+		dst := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
+		unpackInto(dst, ttype, data)
+	}, "Put"); err != nil {
+		return err
+	}
+	if now := r.P.Now(); now > ep.completeAt {
+		ep.completeAt = now
+	}
+	w.shmOpObs(obs.COpsPut, "put.shm", target, len(data), t0)
+	return nil
+}
+
+// shmApply runs a direct store into the shared segment, converting
+// panics (bad displacements with checking off) into window errors.
+func (w *Win) shmApply(apply func(), op string) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("mpi: %s apply failed: %v", op, rec)
+			w.state.setErr(err)
+		}
+	}()
+	apply()
+	return nil
+}
+
+// shmOpObs records counters and the trace span of one shm-path op.
+func (w *Win) shmOpObs(opMetric, span string, target, nbytes int, t0 sim.Time) {
+	r := w.comm.r
+	o := r.W.Obs
+	o.Inc(r.ID(), opMetric)
+	o.Add(r.ID(), obs.CBytesShm, int64(nbytes))
+	o.Inc(r.ID(), obs.CShmCopies)
+	o.Span(r.ID(), "rma", span, t0, r.P.Now(),
+		obs.A("target", w.state.group[target]), obs.A("bytes", nbytes))
+}
+
 // Get transfers from the target window into the origin buffer.
 // Nonblocking: the origin buffer holds the data only after Unlock.
 func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
@@ -619,6 +766,9 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	ep, err := w.opPrologue(buf, target, tdisp, ttype, opGet, OpNoOp)
 	if err != nil {
 		return err
+	}
+	if w.shmFast(target) {
+		return w.shmGet(buf, target, tdisp, ttype, ep, t0)
 	}
 	r := w.comm.r
 	m := r.W.M
@@ -671,6 +821,33 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	return nil
 }
 
+// shmGet is Get over the shared segment: a direct read by the origin
+// CPU. Unlike the RMA path, the data is in the origin buffer on return.
+func (w *Win) shmGet(buf LocalBuf, target, tdisp int, ttype Datatype, ep *epoch, t0 sim.Time) error {
+	r := w.comm.r
+	m := r.W.M
+	treg, _ := w.SharedQuery(target)
+	var data []byte
+	if err := w.shmApply(func() {
+		src := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
+		data = packFrom(src, ttype)
+	}, "Get"); err != nil {
+		return err
+	}
+	m.ShmCopy(r.P, len(data))
+	if err := w.shmApply(func() {
+		dst := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
+		unpackInto(dst, buf.Type, data)
+	}, "Get"); err != nil {
+		return err
+	}
+	if now := r.P.Now(); now > ep.completeAt {
+		ep.completeAt = now
+	}
+	w.shmOpObs(obs.COpsGet, "get.shm", target, len(data), t0)
+	return nil
+}
+
 // Accumulate applies the origin buffer into the target window with the
 // reduction op (element type float64 for arithmetic ops; OpReplace
 // behaves like Put with element granularity). Nonblocking.
@@ -679,6 +856,9 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	ep, err := w.opPrologue(buf, target, tdisp, ttype, opAcc, op)
 	if err != nil {
 		return err
+	}
+	if w.shmFast(target) {
+		return w.shmAccumulate(buf, op, target, tdisp, ttype, ep, t0)
 	}
 	r := w.comm.r
 	m := r.W.M
@@ -720,6 +900,39 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 		obs.A("target", targetWorld), obs.A("bytes", len(data)))
 	o.SpanLane(obs.LaneServer(m.NodeOf(targetWorld)), "agent", "apply("+op.String()+")",
 		start, applyDone, obs.A("origin", r.ID()), obs.A("bytes", len(data)))
+	return nil
+}
+
+// shmAccumulate applies a reduction through the shared segment. The
+// read-modify-write is done by the origin CPU, but applications to one
+// target stay serialized (the accBusy horizon the RMA agent also uses):
+// concurrent same-op accumulates under shared locks must not interleave
+// elementwise.
+func (w *Win) shmAccumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype, ep *epoch, t0 sim.Time) error {
+	r := w.comm.r
+	m := r.W.M
+	src := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
+	data := packFrom(src, buf.Type)
+	treg, _ := w.SharedQuery(target)
+	tl := w.state.locks[target]
+	start := r.P.Now()
+	if tl.accBusy > start {
+		start = tl.accBusy
+	}
+	fin := start + m.ShmCopyTime(len(data))
+	tl.accBusy = fin
+	m.ShmAccount(len(data))
+	m.SleepUntil(r.P, fin)
+	if err := w.shmApply(func() {
+		dst := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
+		applyReduction(dst, ttype, data, op)
+	}, "Accumulate"); err != nil {
+		return err
+	}
+	if fin > ep.completeAt {
+		ep.completeAt = fin
+	}
+	w.shmOpObs(obs.COpsAcc, "acc.shm("+op.String()+")", target, len(data), t0)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
@@ -56,7 +57,9 @@ func (w *Win) UnlockAll() error {
 
 // Flush blocks until every operation issued to target since the last
 // flush has completed remotely (one control round trip after the last
-// completion).
+// completion). For a same-node target of a shared window all issued
+// operations were synchronous memcpys: the flush degenerates to a local
+// memory fence and pays no round trip.
 func (w *Win) Flush(target int) error {
 	if w.all == nil {
 		return fmt.Errorf("mpi: Flush outside lock-all mode")
@@ -72,7 +75,9 @@ func (w *Win) Flush(target int) error {
 				break
 			}
 		}
-		r.P.Elapse(r.W.M.RoundTripTime(r.ID(), w.state.group[target]))
+		if !w.shmFast(target) {
+			r.P.Elapse(r.W.M.RoundTripTime(r.ID(), w.state.group[target]))
+		}
 	}
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.CEpochFlush)
@@ -88,13 +93,24 @@ func (w *Win) FlushAll() error {
 	r := w.comm.r
 	t0 := r.P.Now()
 	r.opOverhead()
+	// Iterate targets in rank order so ties on completeAt resolve
+	// deterministically.
+	targets := make([]int, 0, len(w.all))
+	for t := range w.all {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
 	rtt := sim.Time(0)
 	for {
 		var last sim.Time
-		for t, ep := range w.all {
-			if ep.completeAt > last {
+		for _, t := range targets {
+			if ep := w.all[t]; ep.completeAt > last {
 				last = ep.completeAt
-				rtt = r.W.M.RoundTripTime(r.ID(), w.state.group[t])
+				if w.shmFast(t) {
+					rtt = 0 // shm targets need no completion round trip
+				} else {
+					rtt = r.W.M.RoundTripTime(r.ID(), w.state.group[t])
+				}
 			}
 		}
 		if last <= r.P.Now() {
@@ -245,6 +261,36 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 	tl := w.state.locks[target]
 	ws := w.state
 	var old int64
+	if w.shmFast(target) {
+		// Same-node atomic: a CPU atomic on the shared segment. Still
+		// serialized with accumulate processing on this target, but no
+		// control messages.
+		start := p.Now()
+		if tl.accBusy > start {
+			start = tl.accBusy
+		}
+		fin := start + sim.Time(amoProcessNs)
+		tl.accBusy = fin
+		m.SleepUntil(p, fin)
+		if err := w.shmApply(func() {
+			b := treg.Bytes(treg.VA+int64(tdisp), 8)
+			old = int64(binary.LittleEndian.Uint64(b))
+			if op != OpNoOp {
+				nv := []int64{old}
+				reduceI64(op, nv, []int64{operand})
+				binary.LittleEndian.PutUint64(b, uint64(nv[0]))
+			}
+		}, "FetchAndOp"); err != nil {
+			return 0, err
+		}
+		if ep.completeAt < p.Now() {
+			ep.completeAt = p.Now()
+		}
+		o := r.W.Obs
+		o.Inc(r.ID(), obs.COpsAmo)
+		o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+").shm", t0, p.Now(), obs.A("target", targetWorld))
+		return old, ws.err
+	}
 	done := false
 	arrive := r.control(targetWorld)
 	eng.At(arrive, func() {
@@ -315,6 +361,31 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 	tl := w.state.locks[target]
 	ws := w.state
 	var old int64
+	if w.shmFast(target) {
+		start := p.Now()
+		if tl.accBusy > start {
+			start = tl.accBusy
+		}
+		fin := start + sim.Time(amoProcessNs)
+		tl.accBusy = fin
+		m.SleepUntil(p, fin)
+		if err := w.shmApply(func() {
+			b := treg.Bytes(treg.VA+int64(tdisp), 8)
+			old = int64(binary.LittleEndian.Uint64(b))
+			if old == compare {
+				binary.LittleEndian.PutUint64(b, uint64(swapv))
+			}
+		}, "CompareAndSwap"); err != nil {
+			return 0, err
+		}
+		if ep.completeAt < p.Now() {
+			ep.completeAt = p.Now()
+		}
+		o := r.W.Obs
+		o.Inc(r.ID(), obs.COpsAmo)
+		o.Span(r.ID(), "rma", "compare_and_swap.shm", t0, p.Now(), obs.A("target", targetWorld))
+		return old, ws.err
+	}
 	done := false
 	arrive := r.control(targetWorld)
 	eng.At(arrive, func() {

@@ -16,6 +16,8 @@ const (
 	COpsAmo         = "rma.amo.ops"         // fetch-and-op / compare-and-swap
 	CBytesContig    = "rma.bytes.contig"    // payload bytes moved with contiguous datatypes
 	CBytesPacked    = "rma.bytes.packed"    // payload bytes moved through datatype pack paths
+	CBytesShm       = "rma.bytes.shm"       // payload bytes moved through the intra-node shm path
+	CShmCopies      = "shm.copy"            // shared-memory segment copies (no NIC, no registration)
 	CEpochs         = "epoch.count"         // passive-target epochs opened
 	CEpochFlush     = "epoch.flush"         // MPI-3 flush / flush-all calls
 	CPackBytes      = "dt.pack.bytes"       // bytes packed from noncontiguous origin layouts

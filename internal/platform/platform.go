@@ -108,6 +108,7 @@ var registry = map[string]*Platform{
 			BounceRate:      1.1e9,
 			UnpinnedRate:    300e6,
 			AccumRate:       500e6,
+			ShmCopyRate:     3.2e9, // node-local load/store, DDR2 on PPC450
 		},
 		Native: Tuning{BandwidthFrac: 0.92, OpOverheadNs: 700, RmwRTTs: 1, PrepinAlloc: true},
 		MPI:    Tuning{BandwidthFrac: 0.85, OpOverheadNs: 1100, AccumRate: 420e6},
@@ -135,6 +136,7 @@ var registry = map[string]*Platform{
 			BounceRate:      2.2e9,
 			UnpinnedRate:    1.2e9, // ARMCI's pipelined non-pinned path
 			AccumRate:       2.6e9,
+			ShmCopyRate:     18e9, // intra-socket memcpy, DDR3 Nehalem
 		},
 		Native: Tuning{BandwidthFrac: 0.97, OpOverheadNs: 300, AccumRate: 8e9, RmwRTTs: 1, PrepinAlloc: true},
 		MPI: Tuning{
@@ -165,6 +167,7 @@ var registry = map[string]*Platform{
 			BounceRate:      4.0e9,
 			UnpinnedRate:    1.0e9,
 			AccumRate:       1.6e9,
+			ShmCopyRate:     10e9, // Istanbul-socket memcpy
 		},
 		Native: Tuning{BandwidthFrac: 0.95, OpOverheadNs: 400, RmwRTTs: 1, PrepinAlloc: true},
 		// Cray MPI's portals RMA path loses half the bandwidth on large
@@ -194,6 +197,7 @@ var registry = map[string]*Platform{
 			BounceRate:      4.8e9,
 			UnpinnedRate:    0.9e9,
 			AccumRate:       1.05e9,
+			ShmCopyRate:     12e9, // Magny-Cours-socket memcpy
 		},
 		// The native ARMCI port for Gemini was a development release:
 		// it reaches only a quarter of the link bandwidth and its
