@@ -8,11 +8,19 @@
 //	armci-bench -fig 4 [-platform ...] [-op get|put|acc] [-quick]
 //	armci-bench -fig 5 [-quick]
 //	armci-bench -fig ablation-shm [-platform ...] [-quick]
+//	armci-bench -fig ablation-nbfanout [-platform ...] [-quick]
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
 //
 // With no -platform, figure sweeps run on all four platforms. Output is
 // gnuplot-style columns on stdout.
+//
+// Runtime tuning (applied to every job a sweep constructs; an
+// ablation's own axis still overrides these):
+//
+//	-batch n            batched-method operations per epoch (0 = unlimited)
+//	-strided-method m   conservative, batched, iov-direct, direct, or auto
+//	-iov-method m       same names, for PutV/GetV/AccV
 //
 // Observability (figure sweeps 3, 4, and 5):
 //
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/armcimpi"
 	"repro/internal/bench"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -44,12 +53,52 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-rank observability metrics after the figure sweeps")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the figure sweeps")
 	jsonDir := flag.String("json", "", "also write each figure as BENCH_<name>.json into this directory")
+	batch := flag.Int("batch", -1, "batched-method operations per epoch (0 = unlimited; -1 = default)")
+	stridedMethod := flag.String("strided-method", "", "strided transfer method (conservative, batched, iov-direct, direct, auto)")
+	iovMethod := flag.String("iov-method", "", "I/O vector transfer method (conservative, batched, iov-direct, auto)")
 	flag.Parse()
 
+	if err := installTweak(*batch, *stridedMethod, *iovMethod); err != nil {
+		fmt.Fprintln(os.Stderr, "armci-bench:", err)
+		os.Exit(1)
+	}
 	if err := run(*fig, *plat, *op, *quick, *stats, *trace, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// installTweak translates the runtime-tuning flags into the bench
+// package's Options hook. With no flag set, no hook is installed and
+// the sweeps run on pure defaults.
+func installTweak(batch int, stridedMethod, iovMethod string) error {
+	if batch < 0 && stridedMethod == "" && iovMethod == "" {
+		return nil
+	}
+	var sm, im armcimpi.Method
+	var err error
+	if stridedMethod != "" {
+		if sm, err = armcimpi.ParseMethod(stridedMethod); err != nil {
+			return err
+		}
+	}
+	if iovMethod != "" {
+		if im, err = armcimpi.ParseMethod(iovMethod); err != nil {
+			return err
+		}
+	}
+	bench.Tweak = func(opt *armcimpi.Options) {
+		if batch >= 0 {
+			opt.BatchSize = batch
+		}
+		if stridedMethod != "" {
+			opt.StridedMethod = sm
+		}
+		if iovMethod != "" {
+			opt.IOVMethod = im
+		}
+	}
+	return nil
 }
 
 func platforms(name string) ([]*platform.Platform, error) {
@@ -65,7 +114,7 @@ func platforms(name string) ([]*platform.Platform, error) {
 
 func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir string) error {
 	switch fig {
-	case "3", "4", "5", "ablation-shm", "ablations", "table2", "all":
+	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablations", "table2", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -212,6 +261,32 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 			return err
 		}
 		if fig == "ablation-shm" {
+			return nil
+		}
+	}
+	if fig == "ablation-nbfanout" || fig == "all" {
+		cfg := bench.DefaultNbFanout()
+		if quick {
+			cfg = bench.QuickNbFanout()
+		}
+		// Default to InfiniBand, where the acceptance criterion (the
+		// nonblocking fan-out strictly faster from 4 owners) is stated.
+		name := plat
+		if name == "" {
+			name = platform.InfiniBand
+		}
+		p, err := platform.Lookup(name)
+		if err != nil {
+			return err
+		}
+		f, err := bench.AblationNbFanout(p, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(f, jsonDir); err != nil {
+			return err
+		}
+		if fig == "ablation-nbfanout" {
 			return nil
 		}
 	}

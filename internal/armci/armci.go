@@ -96,9 +96,45 @@ func (g *Group) RankOf(world int) int {
 
 // Handle is a nonblocking-operation handle; Wait blocks until the
 // operation is locally complete (ARMCI's local completion semantics,
-// SectionIV.A).
+// SectionIV.A). Wait is idempotent: waiting an already-complete handle
+// returns immediately.
 type Handle interface {
 	Wait()
+}
+
+// Tester is optionally implemented by handles that can report local
+// completion without blocking (ARMCI_Test).
+type Tester interface {
+	Test() bool
+}
+
+// WaitAll waits for local completion of every handle. Nil handles are
+// permitted and skipped, and handles may appear (or the whole set be
+// waited) more than once — Wait is idempotent.
+func WaitAll(hs ...Handle) {
+	for _, h := range hs {
+		if h != nil {
+			h.Wait()
+		}
+	}
+}
+
+// TestAll reports whether every handle in the set is locally complete,
+// without blocking. Every handle is polled (completion may release the
+// handle's resources); handles that do not implement Tester are
+// conservatively treated as incomplete.
+func TestAll(hs ...Handle) bool {
+	all := true
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		t, ok := h.(Tester)
+		if !ok || !t.Test() {
+			all = false
+		}
+	}
+	return all
 }
 
 // Mutexes is a set of ARMCI mutexes created by CreateMutexes. Mutex i
@@ -171,12 +207,18 @@ type Runtime interface {
 	GetV(iov []GIOV, proc int) error
 	AccV(op AccOp, scale float64, iov []GIOV, proc int) error
 
-	// NbPut/NbGet are the nonblocking variants; the handle's Wait
-	// provides local completion.
+	// Nb* are the nonblocking variants of every data-movement
+	// operation; the handle's Wait provides local completion, and
+	// Fence/AllFence provide remote completion.
 	NbPut(src, dst Addr, n int) (Handle, error)
 	NbGet(src, dst Addr, n int) (Handle, error)
+	NbAcc(op AccOp, scale float64, src, dst Addr, n int) (Handle, error)
 	NbPutS(s *Strided) (Handle, error)
 	NbGetS(s *Strided) (Handle, error)
+	NbAccS(op AccOp, scale float64, s *Strided) (Handle, error)
+	NbPutV(iov []GIOV, proc int) (Handle, error)
+	NbGetV(iov []GIOV, proc int) (Handle, error)
+	NbAccV(op AccOp, scale float64, iov []GIOV, proc int) (Handle, error)
 
 	// Fence blocks until all operations this process issued to proc
 	// have completed remotely (ARMCI_Fence).

@@ -91,13 +91,6 @@ func (e *epochCtl) end() error {
 	return e.win.Unlock(e.gr)
 }
 
-// nb3Handle is a genuinely nonblocking handle in MPI-3 mode.
-type nb3Handle struct {
-	req *mpi.RMAReq
-}
-
-func (h nb3Handle) Wait() { h.req.Wait() }
-
 // ensureNoLockAll closes lock-all before operations that need the
 // window quiesced (window free).
 func (r *Runtime) ensureNoLockAll(win *mpi.Win) error {

@@ -1,0 +1,351 @@
+package armcimpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// The plan executor: the one place that carries out compiled transfer
+// plans. It owns staging and deadlock avoidance (via acquireLocal /
+// release), prescale temporaries, epoch and flush management per
+// backend (via epochCtl), batching, and completion tracking, for both
+// blocking execution (execute) and the MPI-3 request-based nonblocking
+// path (execNb3).
+
+// execState tracks the resources one blocking plan execution holds so
+// they are torn down exactly once — on success through finish, and on
+// a mid-sequence failure through abort.
+type execState struct {
+	r     *Runtime
+	e     *epochCtl
+	views []*localView
+	wb    []bool
+	temps []*fabric.Region
+}
+
+func (st *execState) addView(v *localView, writeBack bool) {
+	st.views = append(st.views, v)
+	st.wb = append(st.wb, writeBack)
+}
+
+func (st *execState) addTemp(t *fabric.Region) { st.temps = append(st.temps, t) }
+
+// issue dispatches one operation into the open epoch.
+func (st *execState) issue(class opClass, buf mpi.LocalBuf, disp int, rtype mpi.Datatype) error {
+	switch class {
+	case classPut:
+		return st.e.put(buf, disp, rtype)
+	case classGet:
+		return st.e.get(buf, disp, rtype)
+	default:
+		return st.e.acc(buf, disp, rtype)
+	}
+}
+
+// finish releases everything on the success path: prescale temporaries
+// first, then local views (staged gets copy their data back under a
+// self-lock).
+func (st *execState) finish() error {
+	sp := st.r.W.Mpi.M.Space(st.r.Rank())
+	for _, t := range st.temps {
+		if err := sp.Free(t.VA); err != nil {
+			return err
+		}
+	}
+	st.temps = nil
+	for i, v := range st.views {
+		if err := st.r.release(v, st.wb[i]); err != nil {
+			return err
+		}
+	}
+	st.views, st.wb = nil, nil
+	return nil
+}
+
+// abort cleans up after a mid-sequence failure: close any open epoch
+// so the target window is not left locked, free temporaries, and drop
+// held views without write-back (their contents are not trustworthy).
+func (st *execState) abort() {
+	if st.e != nil {
+		_ = st.e.end()
+		st.e = nil
+	}
+	sp := st.r.W.Mpi.M.Space(st.r.Rank())
+	for _, t := range st.temps {
+		_ = sp.Free(t.VA)
+	}
+	st.temps = nil
+	for _, v := range st.views {
+		_ = st.r.release(v, false)
+	}
+	st.views, st.wb = nil, nil
+}
+
+// execute carries out a compiled plan with blocking semantics: the
+// operation is locally (and, epoch discipline permitting, remotely)
+// complete on return.
+func (r *Runtime) execute(p *plan) error {
+	r.obs().Inc(r.Rank(), obs.CPlanExec)
+	switch p.kind {
+	case planBatched:
+		return r.execBatched(p)
+	case planPerSeg:
+		return r.execPerSeg(p)
+	default:
+		return r.execSingle(p)
+	}
+}
+
+// execSingle issues one datatype-described operation in one epoch.
+func (r *Runtime) execSingle(p *plan) (err error) {
+	st := &execState{r: r}
+	defer func() {
+		if err != nil {
+			st.abort()
+		}
+	}()
+	v, err := r.acquireLocal(p.local, p.span)
+	if err != nil {
+		return err
+	}
+	st.addView(v, p.class == classGet)
+	buf := v.buf(p.local.VA, p.ltype)
+	if p.class == classAcc && p.scale != 1 {
+		var scaled *fabric.Region
+		if scaled, err = r.prescale(v, p.local.VA, p.ltype, p.scale); err != nil {
+			return err
+		}
+		st.addTemp(scaled)
+		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(p.ltype.Size())}
+	}
+	e, err := r.beginEpoch(p.g, p.gr, p.class)
+	if err != nil {
+		return err
+	}
+	st.e = e
+	if err = st.issue(p.class, buf, p.disp, p.rtype); err != nil {
+		return err
+	}
+	if err = st.e.end(); err != nil {
+		return err
+	}
+	st.e = nil
+	r.obs().Add(r.Rank(), obs.CPlanSegs, 1)
+	return st.finish()
+}
+
+// execBatched issues up to p.batch contiguous operations per epoch
+// against one GMR. Batched local buffers are never staged (the
+// compiler routed global-buffer sources to the conservative plan), so
+// holding all views until finish is free — but the discipline keeps
+// the release invariant uniform across plan kinds.
+func (r *Runtime) execBatched(p *plan) (err error) {
+	st := &execState{r: r}
+	defer func() {
+		if err != nil {
+			st.abort()
+		}
+	}()
+	b := p.batch
+	if b <= 0 {
+		b = len(p.segs)
+	}
+	for start := 0; start < len(p.segs); start += b {
+		end := start + b
+		if end > len(p.segs) {
+			end = len(p.segs)
+		}
+		var e *epochCtl
+		if e, err = r.beginEpoch(p.g, p.gr, p.class); err != nil {
+			return err
+		}
+		st.e = e
+		for _, sg := range p.segs[start:end] {
+			var v *localView
+			if v, err = r.acquireLocal(sg.local, sg.n); err != nil {
+				return err
+			}
+			st.addView(v, p.class == classGet)
+			buf := v.buf(sg.local.VA, mpi.TypeContiguous(sg.n))
+			if p.class == classAcc && p.scale != 1 {
+				var scaled *fabric.Region
+				if scaled, err = r.prescale(v, sg.local.VA, mpi.TypeContiguous(sg.n), p.scale); err != nil {
+					return err
+				}
+				st.addTemp(scaled)
+				buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(sg.n)}
+			}
+			if err = st.issue(p.class, buf, sg.disp, mpi.TypeContiguous(sg.n)); err != nil {
+				return err
+			}
+		}
+		if err = st.e.end(); err != nil {
+			return err
+		}
+		st.e = nil
+	}
+	r.obs().Add(r.Rank(), obs.CPlanSegs, int64(len(p.segs)))
+	return st.finish()
+}
+
+// execPerSeg re-enters the engine once per segment through the public
+// contiguous operations, giving each segment its own epoch (and its
+// own per-segment span check).
+func (r *Runtime) execPerSeg(p *plan) error {
+	for _, sg := range p.csegs {
+		var err error
+		switch p.class {
+		case classPut:
+			err = r.Put(sg.local, sg.remote, sg.n)
+		case classGet:
+			err = r.Get(sg.remote, sg.local, sg.n)
+		case classAcc:
+			err = r.Acc(armci.AccDbl, p.scale, sg.local, sg.remote, sg.n)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nbHandle tracks a set of MPI-3 request-based operations plus the
+// local resources (views, prescale temporaries) they hold. Wait and
+// Test are idempotent: the first completion settles the handle and
+// later calls return immediately.
+type nbHandle struct {
+	r     *Runtime
+	reqs  []*mpi.RMAReq
+	views []*localView
+	wb    []bool
+	temps []*fabric.Region
+	done  bool
+}
+
+func (h *nbHandle) Wait() {
+	if h.done {
+		return
+	}
+	mpi.WaitAllRMA(h.reqs)
+	h.settle()
+}
+
+func (h *nbHandle) Test() bool {
+	if h.done {
+		return true
+	}
+	if !mpi.TestAllRMA(h.reqs) {
+		return false
+	}
+	h.settle()
+	return true
+}
+
+// settle releases the handle's resources exactly once, after every
+// request has completed locally. Wait has no error return, so cleanup
+// failures (a corrupted allocator) are programming errors and panic.
+func (h *nbHandle) settle() {
+	h.done = true
+	h.r.obs().Add(h.r.Rank(), obs.CNbDone, int64(len(h.reqs)))
+	sp := h.r.W.Mpi.M.Space(h.r.Rank())
+	for _, t := range h.temps {
+		if err := sp.Free(t.VA); err != nil {
+			panic(fmt.Sprintf("armcimpi: nonblocking cleanup failed: %v", err))
+		}
+	}
+	for i, v := range h.views {
+		if err := h.r.release(v, h.wb[i]); err != nil {
+			panic(fmt.Sprintf("armcimpi: nonblocking cleanup failed: %v", err))
+		}
+	}
+	h.reqs, h.views, h.wb, h.temps = nil, nil, nil, nil
+}
+
+// execNb3 issues a compiled plan as MPI-3 request-based operations and
+// returns a handle tracking completion of the whole set. Under MPI-3
+// local buffers are never staged and lock-all replaces per-op epochs,
+// so every plan kind flattens to a stream of R-operations.
+func (r *Runtime) execNb3(p *plan) (armci.Handle, error) {
+	h := &nbHandle{r: r}
+	if err := r.issueNb3(p, h); err != nil {
+		// Requests already in flight cannot be recalled: complete them
+		// and release everything the handle holds before reporting.
+		h.Wait()
+		return nil, err
+	}
+	r.obs().Add(r.Rank(), obs.CNbIssued, int64(len(h.reqs)))
+	return h, nil
+}
+
+func (r *Runtime) issueNb3(p *plan, h *nbHandle) error {
+	switch p.kind {
+	case planSingle:
+		return r.issueOneNb3(h, p, p.local, p.span, p.ltype, p.disp, p.rtype)
+	case planBatched:
+		for _, sg := range p.segs {
+			t := mpi.TypeContiguous(sg.n)
+			if err := r.issueOneNb3(h, p, sg.local, sg.n, t, sg.disp, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case planPerSeg:
+		for _, sg := range p.csegs {
+			sub, err := r.compileContig(p.class, p.scale, sg.local, sg.remote, sg.n)
+			if err != nil {
+				return err
+			}
+			if err := r.issueNb3(sub, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("armcimpi: unknown plan kind %d", p.kind)
+}
+
+// issueOneNb3 issues a single request-based operation for one local
+// view against the plan's GMR, recording the resources on the handle.
+func (r *Runtime) issueOneNb3(h *nbHandle, p *plan, local armci.Addr, span int, ltype mpi.Datatype, disp int, rtype mpi.Datatype) error {
+	v, err := r.acquireLocal(local, span)
+	if err != nil {
+		return err
+	}
+	h.views = append(h.views, v)
+	h.wb = append(h.wb, p.class == classGet)
+	buf := v.buf(local.VA, ltype)
+	if p.class == classAcc && p.scale != 1 {
+		scaled, err := r.prescale(v, local.VA, ltype, p.scale)
+		if err != nil {
+			return err
+		}
+		h.temps = append(h.temps, scaled)
+		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(ltype.Size())}
+	}
+	win := p.g.wins[r.Rank()]
+	if err := r.ensureLockAll(win); err != nil {
+		return err
+	}
+	var req *mpi.RMAReq
+	switch p.class {
+	case classPut:
+		req, err = win.RPut(buf, p.gr, disp, rtype)
+	case classGet:
+		req, err = win.RGet(buf, p.gr, disp, rtype)
+	default:
+		req, err = win.RAccumulate(buf, mpi.OpSum, p.gr, disp, rtype)
+	}
+	if err != nil {
+		return err
+	}
+	if p.class != classGet {
+		// Puts and accumulates complete remotely at Fence/AllFence.
+		r.addPending(win, p.gr)
+	}
+	h.reqs = append(h.reqs, req)
+	return nil
+}

@@ -58,6 +58,17 @@ func (m Method) String() string {
 	}
 }
 
+// ParseMethod parses the String form of a Method ("conservative",
+// "batched", "iov-direct", "direct", "auto").
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{MethodConservative, MethodBatched, MethodIOVDirect, MethodDirect, MethodAuto} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("armcimpi: unknown method %q (want conservative, batched, iov-direct, direct, or auto)", s)
+}
+
 // Options tunes the ARMCI-MPI runtime.
 type Options struct {
 	// StridedMethod selects the strategy for PutS/GetS/AccS.

@@ -1,0 +1,146 @@
+package armcimpi
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+)
+
+// TestNbHandleWaitIdempotent checks the nonblocking handle contract on
+// the MPI-3 request path: Wait may be called repeatedly, Test reports
+// completion after Wait, and WaitAll tolerates duplicate and nil
+// handles — all without double-releasing the underlying views.
+func TestNbHandleWaitIdempotent(t *testing.T) {
+	opt := DefaultOptions()
+	opt.UseMPI3 = true
+	run(t, 2, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(512)
+		must(t, err)
+		local := rt.MallocLocal(512)
+		lb, err := rt.LocalBytes(local, 512)
+		must(t, err)
+		if rt.Rank() == 0 {
+			for i := range lb {
+				lb[i] = byte(i % 251)
+			}
+			hp, err := rt.NbPut(local, addrs[1], 256)
+			must(t, err)
+			s := &armci.Strided{
+				Src: local.Add(256), Dst: addrs[1].Add(256),
+				SrcStride: []int{32}, DstStride: []int{64},
+				Count: []int{32, 3},
+			}
+			hs, err := rt.NbPutS(s)
+			must(t, err)
+			armci.WaitAll(hp, hs, hp, nil, hs)
+			hp.Wait()
+			hs.Wait()
+			if !hp.(armci.Tester).Test() || !hs.(armci.Tester).Test() {
+				t.Error("Test false after Wait")
+			}
+			rt.AllFence()
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			check := rt.MallocLocal(512)
+			hg, err := rt.NbGet(addrs[1], check, 256)
+			must(t, err)
+			hg.Wait()
+			hg.Wait()
+			cb, err := rt.LocalBytes(check, 256)
+			must(t, err)
+			for i := range cb {
+				if cb[i] != byte(i%251) {
+					t.Fatalf("byte %d: got %d want %d", i, cb[i], byte(i%251))
+				}
+			}
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+// TestNbMPI2CompletesImmediately checks the MPI-2 degradation: every
+// nonblocking operation is complete before its handle is returned.
+func TestNbMPI2CompletesImmediately(t *testing.T) {
+	run(t, 2, DefaultOptions(), func(rt *Runtime) {
+		addrs, err := rt.Malloc(256)
+		must(t, err)
+		local := rt.MallocLocal(256)
+		if rt.Rank() == 0 {
+			h, err := rt.NbAcc(armci.AccDbl, 2, local, addrs[1], 64)
+			must(t, err)
+			if !h.(armci.Tester).Test() {
+				t.Error("MPI-2 nonblocking handle not complete on return")
+			}
+			iov := armci.GIOV{
+				Src:   []armci.Addr{local},
+				Dst:   []armci.Addr{addrs[1].Add(128)},
+				Bytes: 32,
+			}
+			hv, err := rt.NbPutV([]armci.GIOV{iov}, 1)
+			must(t, err)
+			if !hv.(armci.Tester).Test() {
+				t.Error("MPI-2 nonblocking IOV handle not complete on return")
+			}
+			armci.WaitAll(h, hv)
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+// TestBatchedErrorReleasesEpoch drives the batched executor into a
+// mid-epoch failure (the second segment's local address lies in no
+// allocation, which only execution can detect) and checks the runtime
+// stays usable: the open epoch must have been closed and the held view
+// released, or the follow-up operations would deadlock on the window.
+func TestBatchedErrorReleasesEpoch(t *testing.T) {
+	opt := DefaultOptions()
+	opt.IOVMethod = MethodBatched
+	run(t, 2, opt, func(rt *Runtime) {
+		addrs, err := rt.Malloc(512)
+		must(t, err)
+		local := rt.MallocLocal(512)
+		if rt.Rank() == 0 {
+			iov := armci.GIOV{
+				Src:   []armci.Addr{local, local.Add(1 << 20)},
+				Dst:   []armci.Addr{addrs[1], addrs[1].Add(64)},
+				Bytes: 32,
+			}
+			if err := rt.PutV([]armci.GIOV{iov}, 1); err == nil {
+				t.Error("PutV with an unallocated local segment did not fail")
+			}
+			// The window must be lockable again for every operation class.
+			must(t, rt.Put(local, addrs[1].Add(128), 64))
+			must(t, rt.Acc(armci.AccDbl, 3, local, addrs[1].Add(256), 64))
+			must(t, rt.Get(addrs[1], local, 64))
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}
+
+// TestSingleErrorReleasesEpoch does the same for the single-plan path:
+// a strided direct transfer whose local side is unallocated fails at
+// acquire, after which the target window must still be usable.
+func TestSingleErrorReleasesEpoch(t *testing.T) {
+	run(t, 2, DefaultOptions(), func(rt *Runtime) {
+		addrs, err := rt.Malloc(512)
+		must(t, err)
+		local := rt.MallocLocal(512)
+		if rt.Rank() == 0 {
+			s := &armci.Strided{
+				Src: local.Add(1 << 20), Dst: addrs[1],
+				SrcStride: []int{32}, DstStride: []int{64},
+				Count: []int{32, 2},
+			}
+			if err := rt.PutS(s); err == nil {
+				t.Error("PutS with an unallocated local buffer did not fail")
+			}
+			must(t, rt.Put(local, addrs[1], 64))
+		}
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+}

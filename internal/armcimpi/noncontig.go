@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/armci"
-	"repro/internal/conflicttree"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -42,18 +41,11 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 	}
 	t0 := r.R.P.Now()
 	method := r.stridedMethod()
-	var err error
-	if method == MethodDirect {
-		err = r.stridedDirect(class, scale, s)
-	} else {
-		g := s.ToGIOV()
-		proc := s.Dst.Rank
-		if class == classGet {
-			proc = s.Src.Rank
-		}
-		err = r.iov(class, scale, []armci.GIOV{g}, proc, method)
-	}
+	p, err := r.compileStrided(class, scale, s, method)
 	if err != nil {
+		return err
+	}
+	if err := r.execute(p); err != nil {
 		return err
 	}
 	name := "puts"
@@ -66,66 +58,6 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 	r.obs().Span(r.Rank(), "armci", name, t0, r.R.P.Now(),
 		obs.A("method", method.String()), obs.A("seg", s.SegBytes()))
 	return nil
-}
-
-// stridedDirect translates the strided descriptor straight into MPI
-// subarray datatypes (SectionVI.C) and issues one operation in one
-// epoch; MPI may then optimize the transfer (pack/unpack or otherwise).
-func (r *Runtime) stridedDirect(class opClass, scale float64, s *armci.Strided) error {
-	localAddr, remoteAddr := s.Src, s.Dst
-	localStride, remoteStride := s.SrcStride, s.DstStride
-	localSpan, remoteSpan := s.SrcSpan(), s.DstSpan()
-	if class == classGet {
-		localAddr, remoteAddr = s.Dst, s.Src
-		localStride, remoteStride = s.DstStride, s.SrcStride
-		localSpan, remoteSpan = s.DstSpan(), s.SrcSpan()
-	}
-	g, gr, disp, err := r.remote(remoteAddr, remoteSpan)
-	if err != nil {
-		return err
-	}
-	v, err := r.acquireLocal(localAddr, localSpan)
-	if err != nil {
-		return err
-	}
-	ltype := stridedType(localStride, s.Count)
-	rtype := stridedType(remoteStride, s.Count)
-	buf := v.buf(localAddr.VA, ltype)
-
-	// Accumulate with a scale factor requires pre-scaling into a dense
-	// temporary (SectionVI.C + MPI's missing scale argument).
-	var scaled *fabric.Region
-	if class == classAcc && scale != 1 {
-		scaled, err = r.prescale(v, localAddr.VA, ltype, scale)
-		if err != nil {
-			return err
-		}
-		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(ltype.Size())}
-	}
-	e, err := r.beginEpoch(g, gr, class)
-	if err != nil {
-		return err
-	}
-	switch class {
-	case classPut:
-		err = e.put(buf, disp, rtype)
-	case classGet:
-		err = e.get(buf, disp, rtype)
-	case classAcc:
-		err = e.acc(buf, disp, rtype)
-	}
-	if err != nil {
-		return err
-	}
-	if err := e.end(); err != nil {
-		return err
-	}
-	if scaled != nil {
-		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
-			return err
-		}
-	}
-	return r.release(v, class == classGet)
 }
 
 // stridedType builds the MPI datatype for one side of a strided
@@ -203,12 +135,19 @@ func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
 
 // AccV performs a generalized I/O vector accumulate to proc.
 func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) error {
+	if err := checkAccIOV(iov); err != nil {
+		return err
+	}
+	return r.iov(classAcc, scale, iov, proc, r.Opt.IOVMethod)
+}
+
+func checkAccIOV(iov []armci.GIOV) error {
 	for i := range iov {
 		if iov[i].Bytes%8 != 0 {
 			return fmt.Errorf("armcimpi: AccV segment size %d not float64-aligned", iov[i].Bytes)
 		}
 	}
-	return r.iov(classAcc, scale, iov, proc, r.Opt.IOVMethod)
+	return nil
 }
 
 // iovSeg is one segment with local/remote orientation resolved.
@@ -232,254 +171,12 @@ func orient(iov []armci.GIOV, class opClass) []iovSeg {
 	return segs
 }
 
-// iov dispatches an IOV operation to the selected method (SectionVI.A).
+// iov compiles and executes an IOV operation with the selected method
+// (SectionVI.A).
 func (r *Runtime) iov(class opClass, scale float64, iov []armci.GIOV, proc int, method Method) error {
-	if err := armci.ValidateIOV(iov, proc, class == classGet); err != nil {
-		return err
-	}
-	segs := orient(iov, class)
-	if len(segs) == 0 {
-		return nil
-	}
-	switch method {
-	case MethodConservative:
-		return r.iovConservative(class, scale, segs)
-	case MethodBatched:
-		return r.iovBatched(class, scale, segs, proc)
-	case MethodIOVDirect, MethodDirect:
-		return r.iovDirect(class, scale, segs, proc)
-	case MethodAuto:
-		return r.iovAuto(class, scale, segs, proc)
-	default:
-		return fmt.Errorf("armcimpi: unknown IOV method %v", method)
-	}
-}
-
-// iovAuto scans the descriptor with the conflict tree (SectionVI.B):
-// if all remote segments fall in one GMR and the destination segments
-// do not overlap, the fast method is safe; otherwise fall back to
-// conservative. The overlap check runs on the destination side — the
-// remote side for put and accumulate, the local side for get: two
-// segments writing the same bytes within one epoch may land in either
-// order, whereas overlapping get sources are read-read and harmless.
-func (r *Runtime) iovAuto(class opClass, scale float64, segs []iovSeg, proc int) error {
-	r.W.AutoScans++
-	safe := true
-	var tree conflicttree.Tree
-	var g0 *GMR
-	for _, sg := range segs {
-		g, _, _, ok := r.W.find(sg.remote)
-		if !ok {
-			safe = false
-			break
-		}
-		if g0 == nil {
-			g0 = g
-		} else if g != g0 {
-			safe = false // segments correspond to different GMRs
-			break
-		}
-		dst := sg.remote.VA
-		if class == classGet {
-			dst = sg.local.VA
-		}
-		if !tree.Insert(dst, dst+int64(sg.n)) {
-			safe = false // overlapping destination segments
-			break
-		}
-	}
-	if !safe {
-		r.W.AutoFalls++
-		return r.iovConservative(class, scale, segs)
-	}
-	fast := r.Opt.AutoFast
-	if fast != MethodBatched && fast != MethodIOVDirect {
-		fast = MethodBatched
-	}
-	if fast == MethodBatched {
-		return r.iovBatched(class, scale, segs, proc)
-	}
-	return r.iovDirect(class, scale, segs, proc)
-}
-
-// iovConservative issues one operation per segment, each in its own
-// epoch; segments may overlap and span GMRs.
-func (r *Runtime) iovConservative(class opClass, scale float64, segs []iovSeg) error {
-	for _, sg := range segs {
-		var err error
-		switch class {
-		case classPut:
-			err = r.Put(sg.local, sg.remote, sg.n)
-		case classGet:
-			err = r.Get(sg.remote, sg.local, sg.n)
-		case classAcc:
-			err = r.Acc(armci.AccDbl, scale, sg.local, sg.remote, sg.n)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// iovBatched issues up to BatchSize contiguous operations per epoch;
-// all remote segments must fall in one GMR and not overlap, or MPI
-// reports an error (SectionVI.B's motivation). Local buffers living in
-// global space force the conservative path (staging cannot be done
-// while the remote epoch is open).
-func (r *Runtime) iovBatched(class opClass, scale float64, segs []iovSeg, proc int) error {
-	for _, sg := range segs {
-		if _, _, _, inGMR := r.W.find(sg.local); inGMR && !r.Opt.NoStaging {
-			return r.iovConservative(class, scale, segs)
-		}
-	}
-	if class == classGet {
-		// Gets land in local destinations: aliased destinations within
-		// one epoch would be written in arbitrary order, so serialize
-		// them through the per-segment path.
-		var tree conflicttree.Tree
-		for _, sg := range segs {
-			if !tree.Insert(sg.local.VA, sg.local.VA+int64(sg.n)) {
-				return r.iovConservative(class, scale, segs)
-			}
-		}
-	}
-	g, gr, _, err := r.remoteGMR(segs[0].remote)
+	p, err := r.compileIOV(class, scale, iov, proc, method)
 	if err != nil {
 		return err
 	}
-	b := r.Opt.BatchSize
-	if b <= 0 {
-		b = len(segs)
-	}
-	base := g.addrs[gr]
-	var temps []*fabric.Region
-	for start := 0; start < len(segs); start += b {
-		end := start + b
-		if end > len(segs) {
-			end = len(segs)
-		}
-		e, err := r.beginEpoch(g, gr, class)
-		if err != nil {
-			return err
-		}
-		for _, sg := range segs[start:end] {
-			v, err := r.acquireLocal(sg.local, sg.n)
-			if err != nil {
-				return err
-			}
-			disp := int(sg.remote.VA - base.VA)
-			buf := v.buf(sg.local.VA, mpi.TypeContiguous(sg.n))
-			if class == classAcc && scale != 1 {
-				scaled, err := r.prescale(v, sg.local.VA, mpi.TypeContiguous(sg.n), scale)
-				if err != nil {
-					return err
-				}
-				temps = append(temps, scaled)
-				buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(sg.n)}
-			}
-			switch class {
-			case classPut:
-				err = e.put(buf, disp, mpi.TypeContiguous(sg.n))
-			case classGet:
-				err = e.get(buf, disp, mpi.TypeContiguous(sg.n))
-			case classAcc:
-				err = e.acc(buf, disp, mpi.TypeContiguous(sg.n))
-			}
-			if err != nil {
-				return err
-			}
-		}
-		if err := e.end(); err != nil {
-			return err
-		}
-	}
-	sp := r.W.Mpi.M.Space(r.Rank())
-	for _, t := range temps {
-		if err := sp.Free(t.VA); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// iovDirect builds one MPI indexed datatype per side and issues a
-// single operation, letting MPI choose pack/unpack or batching
-// (SectionVI.A's direct method).
-func (r *Runtime) iovDirect(class opClass, scale float64, segs []iovSeg, proc int) error {
-	g, gr, _, err := r.remoteGMR(segs[0].remote)
-	if err != nil {
-		return err
-	}
-	base := g.addrs[gr]
-	// Local side: offsets relative to the lowest local address.
-	localBase := segs[0].local.VA
-	for _, sg := range segs {
-		if sg.local.VA < localBase {
-			localBase = sg.local.VA
-		}
-	}
-	localSpan := 0
-	lOffs := make([]int, len(segs))
-	lLens := make([]int, len(segs))
-	rOffs := make([]int, len(segs))
-	rLens := make([]int, len(segs))
-	for i, sg := range segs {
-		lOffs[i] = int(sg.local.VA - localBase)
-		lLens[i] = sg.n
-		if lOffs[i]+sg.n > localSpan {
-			localSpan = lOffs[i] + sg.n
-		}
-		rOffs[i] = int(sg.remote.VA - base.VA)
-		rLens[i] = sg.n
-	}
-	ltype := mpi.TypeIndexed(lOffs, lLens)
-	rtype := mpi.TypeIndexed(rOffs, rLens)
-	v, err := r.acquireLocal(armci.Addr{Rank: r.Rank(), VA: localBase}, localSpan)
-	if err != nil {
-		return err
-	}
-	buf := v.buf(localBase, ltype)
-	var scaled *fabric.Region
-	if class == classAcc && scale != 1 {
-		scaled, err = r.prescale(v, localBase, ltype, scale)
-		if err != nil {
-			return err
-		}
-		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(ltype.Size())}
-	}
-	e, err := r.beginEpoch(g, gr, class)
-	if err != nil {
-		return err
-	}
-	switch class {
-	case classPut:
-		err = e.put(buf, 0, rtype)
-	case classGet:
-		err = e.get(buf, 0, rtype)
-	case classAcc:
-		err = e.acc(buf, 0, rtype)
-	}
-	if err != nil {
-		return err
-	}
-	if err := e.end(); err != nil {
-		return err
-	}
-	if scaled != nil {
-		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
-			return err
-		}
-	}
-	return r.release(v, class == classGet)
-}
-
-// remoteGMR resolves a remote address to its GMR without a span check
-// (per-segment checks happen via window bounds).
-func (r *Runtime) remoteGMR(addr armci.Addr) (*GMR, int, int, error) {
-	g, gr, disp, ok := r.W.find(addr)
-	if !ok {
-		return nil, 0, 0, fmt.Errorf("armcimpi: %v is not in any GMR", addr)
-	}
-	return g, gr, disp, nil
+	return r.execute(p)
 }

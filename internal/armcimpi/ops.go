@@ -165,25 +165,11 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
-	g, gr, disp, err := r.remote(dst, n)
+	p, err := r.compileContig(classPut, 1, src, dst, n)
 	if err != nil {
 		return err
 	}
-	v, err := r.acquireLocal(src, n)
-	if err != nil {
-		return err
-	}
-	e, err := r.beginEpoch(g, gr, classPut)
-	if err != nil {
-		return err
-	}
-	if err := e.put(v.buf(src.VA, mpi.TypeContiguous(n)), disp, mpi.TypeContiguous(n)); err != nil {
-		return err
-	}
-	if err := e.end(); err != nil {
-		return err
-	}
-	if err := r.release(v, false); err != nil {
+	if err := r.execute(p); err != nil {
 		return err
 	}
 	r.obs().Span(r.Rank(), "armci", "put", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
@@ -197,25 +183,11 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
-	g, gr, disp, err := r.remote(src, n)
+	p, err := r.compileContig(classGet, 1, dst, src, n)
 	if err != nil {
 		return err
 	}
-	v, err := r.acquireLocal(dst, n)
-	if err != nil {
-		return err
-	}
-	e, err := r.beginEpoch(g, gr, classGet)
-	if err != nil {
-		return err
-	}
-	if err := e.get(v.buf(dst.VA, mpi.TypeContiguous(n)), disp, mpi.TypeContiguous(n)); err != nil {
-		return err
-	}
-	if err := e.end(); err != nil {
-		return err
-	}
-	if err := r.release(v, true); err != nil {
+	if err := r.execute(p); err != nil {
 		return err
 	}
 	r.obs().Span(r.Rank(), "armci", "get", t0, r.R.P.Now(), obs.A("from", src.Rank), obs.A("bytes", n))
@@ -233,204 +205,15 @@ func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int)
 	if n%8 != 0 {
 		return fmt.Errorf("armcimpi: Acc size %d not a multiple of 8 (float64)", n)
 	}
-	g, gr, disp, err := r.remote(dst, n)
+	p, err := r.compileContig(classAcc, scale, src, dst, n)
 	if err != nil {
 		return err
 	}
-	v, err := r.acquireLocal(src, n)
-	if err != nil {
-		return err
-	}
-	buf := v.buf(src.VA, mpi.TypeContiguous(n))
-	var scaled *fabric.Region
-	if scale != 1 {
-		scaled = r.R.AllocMem(n)
-		m := r.W.Mpi.M
-		m.CopyLocal(r.R.P, n)
-		m.Compute(r.R.P, float64(n/8))
-		vals := mpi.BytesToF64s(v.reg.Bytes(v.reg.VA+(src.VA-v.base), n))
-		out := make([]float64, len(vals))
-		for i, x := range vals {
-			out[i] = x * scale
-		}
-		copy(scaled.Data, mpi.F64sToBytes(out))
-		buf = mpi.LocalBuf{Region: scaled, Off: 0, Type: mpi.TypeContiguous(n)}
-	}
-	e, err := r.beginEpoch(g, gr, classAcc)
-	if err != nil {
-		return err
-	}
-	if err := e.acc(buf, disp, mpi.TypeContiguous(n)); err != nil {
-		return err
-	}
-	if err := e.end(); err != nil {
-		return err
-	}
-	if scaled != nil {
-		if err := r.W.Mpi.M.Space(r.Rank()).Free(scaled.VA); err != nil {
-			return err
-		}
-	}
-	if err := r.release(v, false); err != nil {
+	if err := r.execute(p); err != nil {
 		return err
 	}
 	r.obs().Span(r.Rank(), "armci", "acc", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
 	return nil
-}
-
-// completedHandle is the handle for "nonblocking" operations: MPI-2
-// has no request-based RMA (SectionVIII.B), so ARMCI-MPI's nonblocking
-// operations complete before returning. The handle is only constructed
-// after Unlock returns — a handle must never report completion while
-// its epoch is still open.
-type completedHandle struct{}
-
-func (completedHandle) Wait() {}
-
-// failedHandle is returned alongside the error when an immediate-mode
-// nonblocking operation fails. Callers that ignore the error and Wait
-// anyway must not silently proceed on garbage data, so Wait re-raises
-// the failure.
-type failedHandle struct{ err error }
-
-func (h failedHandle) Wait() {
-	panic(fmt.Sprintf("armcimpi: Wait on failed nonblocking operation: %v", h.err))
-}
-
-// NbPut issues a put. Under MPI-2 there are no request-based RMA
-// operations (SectionVIII.B), so the call completes before returning;
-// under MPI-3 it issues an Rput whose remote completion is deferred to
-// Fence, enabling communication/computation overlap.
-func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
-	if !r.Opt.UseMPI3 {
-		if err := r.Put(src, dst, n); err != nil {
-			return failedHandle{err: err}, err
-		}
-		return completedHandle{}, nil
-	}
-	if err := armci.CheckContig(src, dst, n); err != nil {
-		return nil, err
-	}
-	g, gr, disp, err := r.remote(dst, n)
-	if err != nil {
-		return nil, err
-	}
-	v, err := r.acquireLocal(src, n)
-	if err != nil {
-		return nil, err
-	}
-	win := g.wins[r.Rank()]
-	if err := r.ensureLockAll(win); err != nil {
-		return nil, err
-	}
-	req, err := win.RPut(v.buf(src.VA, mpi.TypeContiguous(n)), gr, disp, mpi.TypeContiguous(n))
-	if err != nil {
-		return nil, err
-	}
-	r.addPending(win, gr)
-	return nb3Handle{req: req}, nil
-}
-
-// NbGet issues a get; under MPI-2 it completes immediately, under
-// MPI-3 the handle's Wait blocks until the data has landed.
-func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
-	if !r.Opt.UseMPI3 {
-		if err := r.Get(src, dst, n); err != nil {
-			return failedHandle{err: err}, err
-		}
-		return completedHandle{}, nil
-	}
-	if err := armci.CheckContig(src, dst, n); err != nil {
-		return nil, err
-	}
-	g, gr, disp, err := r.remote(src, n)
-	if err != nil {
-		return nil, err
-	}
-	v, err := r.acquireLocal(dst, n)
-	if err != nil {
-		return nil, err
-	}
-	win := g.wins[r.Rank()]
-	if err := r.ensureLockAll(win); err != nil {
-		return nil, err
-	}
-	req, err := win.RGet(v.buf(dst.VA, mpi.TypeContiguous(n)), gr, disp, mpi.TypeContiguous(n))
-	if err != nil {
-		return nil, err
-	}
-	return nb3Handle{req: req}, nil
-}
-
-// NbPutS issues a strided put. Under MPI-2 the call completes before
-// returning (no request-based RMA, SectionVIII.B); under MPI-3 it
-// issues a request-based Rput with derived datatypes on both sides,
-// mirroring the contiguous NbPut, so the transfer genuinely overlaps
-// with computation until Wait or Fence.
-func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
-	if !r.Opt.UseMPI3 {
-		if err := r.PutS(s); err != nil {
-			return failedHandle{err: err}, err
-		}
-		return completedHandle{}, nil
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	g, gr, disp, err := r.remote(s.Dst, s.DstSpan())
-	if err != nil {
-		return nil, err
-	}
-	v, err := r.acquireLocal(s.Src, s.SrcSpan())
-	if err != nil {
-		return nil, err
-	}
-	ltype := stridedType(s.SrcStride, s.Count)
-	rtype := stridedType(s.DstStride, s.Count)
-	win := g.wins[r.Rank()]
-	if err := r.ensureLockAll(win); err != nil {
-		return nil, err
-	}
-	req, err := win.RPut(v.buf(s.Src.VA, ltype), gr, disp, rtype)
-	if err != nil {
-		return nil, err
-	}
-	r.addPending(win, gr)
-	return nb3Handle{req: req}, nil
-}
-
-// NbGetS issues a strided get. Under MPI-2 it completes immediately;
-// under MPI-3 it issues a request-based Rget with derived datatypes and
-// the handle's Wait blocks until the strided data has landed.
-func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
-	if !r.Opt.UseMPI3 {
-		if err := r.GetS(s); err != nil {
-			return failedHandle{err: err}, err
-		}
-		return completedHandle{}, nil
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	g, gr, disp, err := r.remote(s.Src, s.SrcSpan())
-	if err != nil {
-		return nil, err
-	}
-	v, err := r.acquireLocal(s.Dst, s.DstSpan())
-	if err != nil {
-		return nil, err
-	}
-	ltype := stridedType(s.DstStride, s.Count)
-	rtype := stridedType(s.SrcStride, s.Count)
-	win := g.wins[r.Rank()]
-	if err := r.ensureLockAll(win); err != nil {
-		return nil, err
-	}
-	req, err := win.RGet(v.buf(s.Dst.VA, ltype), gr, disp, rtype)
-	if err != nil {
-		return nil, err
-	}
-	return nb3Handle{req: req}, nil
 }
 
 // Fence ensures remote completion of prior operations to proc. Under
@@ -473,5 +256,12 @@ func (r *Runtime) AllFence() {
 	r.pendingOrder = nil
 }
 
-// Barrier synchronizes all processes (communication is already fenced).
-func (r *Runtime) Barrier() { r.R.CommWorld().Barrier() }
+// Barrier synchronizes all processes. Outstanding nonblocking
+// operations are fenced first so the barrier provides the usual
+// "all prior communication is remotely complete" guarantee; with
+// nothing pending (always the case under MPI-2, where every operation
+// completes in its own epoch) the fence is free.
+func (r *Runtime) Barrier() {
+	r.AllFence()
+	r.R.CommWorld().Barrier()
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/harness"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// NbFanoutConfig tunes the GA fan-out aggregation ablation: a 1-D
+// global array whose patches span a growing number of owning
+// processes, accessed with the per-owner operations issued blocking
+// versus nonblocking-with-one-WaitAll.
+type NbFanoutConfig struct {
+	Owners   []int // spanned owner counts, ascending
+	BlkElems int   // float64 elements per owner block
+	Iters    int
+}
+
+// DefaultNbFanout spans up to 16 owners with 32 KB per owner.
+func DefaultNbFanout() NbFanoutConfig {
+	return NbFanoutConfig{Owners: []int{1, 2, 4, 8, 16}, BlkElems: 4096, Iters: 3}
+}
+
+// QuickNbFanout keeps the full owner axis (the aggregation win is the
+// claim under test) but shrinks blocks and iterations.
+func QuickNbFanout() NbFanoutConfig {
+	return NbFanoutConfig{Owners: []int{1, 2, 4, 8, 16}, BlkElems: 512, Iters: 2}
+}
+
+func (c NbFanoutConfig) maxOwners() int { return c.Owners[len(c.Owners)-1] }
+
+// nbFanoutVariant measures GA Put and Get latency versus spanned owner
+// count for one fan-out discipline. MPI-3 is required (under MPI-2 the
+// nonblocking surface degenerates to blocking calls) and the shm fast
+// path is disabled so every owner pays the RMA completion round trip —
+// the cost the aggregated FlushAll amortizes.
+func nbFanoutVariant(plat *platform.Platform, blocking bool, cfg NbFanoutConfig) (Series, Series, error) {
+	label := "nonblocking"
+	if blocking {
+		label = "blocking"
+	}
+	put := Series{Label: "put (" + label + ")"}
+	get := Series{Label: "get (" + label + ")"}
+	opt := benchOptions()
+	opt.UseMPI3 = true
+	opt.NoShm = true
+	nranks := cfg.maxOwners() + 1
+	var runErr error
+	j, err := harness.NewJob(plat, nranks, harness.ImplARMCIMPI, opt)
+	if err != nil {
+		return put, get, err
+	}
+	err = j.Eng.Run(nranks, func(pr *sim.Proc) {
+		env := newGAEnv(j, pr)
+		env.BlockingFanout = blocking
+		a, err := env.Create("nbfanout", ga.F64, []int{nranks * cfg.BlkElems})
+		if err != nil {
+			runErr = err
+			return
+		}
+		rt := env.Rt
+		vals := make([]float64, cfg.maxOwners()*cfg.BlkElems)
+		for _, k := range cfg.Owners {
+			// The patch starts at owner 1's block, so every spanned owner
+			// is remote to the issuing rank 0.
+			lo := []int{cfg.BlkElems}
+			hi := []int{cfg.BlkElems*(1+k) - 1}
+			n := k * cfg.BlkElems
+			env.Sync()
+			if env.Me() == 0 {
+				if err := a.Put(lo, hi, vals[:n]); err != nil {
+					runErr = err
+					return
+				}
+				rt.AllFence()
+				start := rt.Proc().Now()
+				for i := 0; i < cfg.Iters; i++ {
+					if err := a.Put(lo, hi, vals[:n]); err != nil {
+						runErr = err
+						return
+					}
+					rt.AllFence()
+				}
+				put.X = append(put.X, float64(k))
+				put.Y = append(put.Y, perOpMicros(rt.Proc().Now()-start, cfg.Iters))
+				if err := a.Get(lo, hi, vals[:n]); err != nil {
+					runErr = err
+					return
+				}
+				start = rt.Proc().Now()
+				for i := 0; i < cfg.Iters; i++ {
+					if err := a.Get(lo, hi, vals[:n]); err != nil {
+						runErr = err
+						return
+					}
+				}
+				get.X = append(get.X, float64(k))
+				get.Y = append(get.Y, perOpMicros(rt.Proc().Now()-start, cfg.Iters))
+			}
+			env.Sync()
+		}
+		if err := a.Destroy(); err != nil {
+			runErr = err
+		}
+	})
+	if err != nil {
+		return put, get, err
+	}
+	return put, get, runErr
+}
+
+// perOpMicros converts an iterated elapsed time to microseconds per
+// operation.
+func perOpMicros(d sim.Time, iters int) float64 {
+	return d.Seconds() / float64(iters) * 1e6
+}
+
+// AblationNbFanout regenerates the GA fan-out aggregation ablation:
+// per-operation latency of GA Put (to remote completion) and GA Get
+// versus the number of owning processes the patch spans, with the
+// per-owner operations issued blocking versus nonblocking + WaitAll.
+// The blocking discipline pays a completion round trip (put) or a full
+// transfer wait (get) per owner; aggregation overlaps them, so the gap
+// must widen with the owner count.
+func AblationNbFanout(plat *platform.Platform, cfg NbFanoutConfig) (*Figure, error) {
+	fig := &Figure{
+		Name:   "ablation-nbfanout",
+		Title:  fmt.Sprintf("GA fan-out aggregation ablation, %s", plat.System),
+		XLabel: "owning processes spanned",
+		YLabel: "latency per operation (microseconds)",
+	}
+	for _, blocking := range []bool{true, false} {
+		put, get, err := nbFanoutVariant(plat, blocking, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation-nbfanout %s/%s: %w", plat.Name, put.Label, err)
+		}
+		fig.Series = append(fig.Series, put, get)
+	}
+	return fig, nil
+}

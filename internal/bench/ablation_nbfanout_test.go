@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestNbFanoutAggregationWins(t *testing.T) {
+	ib := platform.Get(platform.InfiniBand)
+	fig, err := AblationNbFanout(ib, QuickNbFanout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"put", "get"} {
+		nb := fig.Get(op + " (nonblocking)")
+		bl := fig.Get(op + " (blocking)")
+		if nb == nil || bl == nil {
+			t.Fatalf("missing %s series", op)
+		}
+		if len(nb.Y) != len(bl.Y) {
+			t.Fatalf("%s series lengths differ: %d vs %d", op, len(nb.Y), len(bl.Y))
+		}
+		// Acceptance: aggregation is strictly faster once the patch spans
+		// several owners, and never more than marginally slower below that.
+		for i := range nb.X {
+			if nb.X[i] >= 4 && nb.Y[i] >= bl.Y[i] {
+				t.Errorf("%s at %v owners: nonblocking %.3fus not faster than blocking %.3fus",
+					op, nb.X[i], nb.Y[i], bl.Y[i])
+			}
+		}
+	}
+}
+
+func BenchmarkAblationNbFanout(b *testing.B) {
+	ib := platform.Get(platform.InfiniBand)
+	cfg := QuickNbFanout()
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationNbFanout(ib, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

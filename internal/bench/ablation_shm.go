@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/armci"
-	"repro/internal/armcimpi"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -75,7 +74,7 @@ func shmContigBandwidth(plat *platform.Platform, op ContigOp, v shmVariant, cfg 
 	sizes := pow2s(cfg.MinExp, cfg.MaxExp)
 	maxSize := sizes[len(sizes)-1]
 	series := Series{Label: v.label(string(op))}
-	opt := armcimpi.DefaultOptions()
+	opt := benchOptions()
 	opt.NoShm = v.noShm
 	nranks := 2 * plat.CoresPerNode
 	target := v.target(plat)
@@ -126,7 +125,7 @@ func shmStridedBandwidth(plat *platform.Platform, v shmVariant, cfg ShmAblationC
 	for c := 1; c <= cfg.MaxSegs; c *= 2 {
 		counts = append(counts, c)
 	}
-	opt := armcimpi.DefaultOptions()
+	opt := benchOptions()
 	opt.NoShm = v.noShm
 	series := Series{Label: v.label("puts")}
 	segBytes := cfg.SegBytes

@@ -38,7 +38,7 @@ func AblationRmw(plat *platform.Platform, iters int) (map[string]float64, error)
 		{"mpi3-fetchop", harness.ImplARMCIMPI, true},
 	}
 	for _, v := range variants {
-		opt := armcimpi.DefaultOptions()
+		opt := benchOptions()
 		opt.UseMPI3 = v.mpi3
 		var lat sim.Time
 		var runErr error
@@ -86,7 +86,7 @@ func AblationAccessModes(plat *platform.Platform, readers, iters, size int) (map
 		var phase sim.Time
 		var runErr error
 		nranks := readers + 1
-		j, err := harness.NewJob(plat, nranks, harness.ImplARMCIMPI, armcimpi.DefaultOptions())
+		j, err := harness.NewJob(plat, nranks, harness.ImplARMCIMPI, benchOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func AblationBatchSize(plat *platform.Platform, segBytes, nsegs int, batches []i
 	out := map[int]float64{}
 	for _, b := range batches {
 		v := stridedVariant{label: fmt.Sprintf("B=%d", b), impl: harness.ImplARMCIMPI, method: armcimpi.MethodBatched}
-		opt := armcimpi.DefaultOptions()
+		opt := benchOptions()
 		opt.StridedMethod = armcimpi.MethodBatched
 		opt.BatchSize = b
 		series, err := stridedWithOptions(plat, opt, v.label, OpPut, segBytes, []int{nsegs}, iters)
@@ -232,7 +232,7 @@ func AblationAsyncProgress(plat *platform.Platform, delayNs float64, iters int) 
 		var lat sim.Time
 		var runErr error
 		_, err := harness.Run(&tuned, 2*plat.CoresPerNode, harness.ImplARMCIMPI,
-			armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+			benchOptions(), func(rt armci.Runtime) {
 				addrs, err := rt.Malloc(4096)
 				if err != nil {
 					runErr = err
@@ -274,7 +274,7 @@ func AblationMPI3Backend(plat *platform.Platform, cores int) (map[string]float64
 	out := map[string]float64{}
 	p := nwchemParams()
 	for _, mode := range []string{"mpi2-epochs", "mpi3-lockall"} {
-		opt := armcimpi.DefaultOptions()
+		opt := benchOptions()
 		opt.UseMPI3 = mode == "mpi3-lockall"
 		j, err := harness.NewJob(plat, cores, harness.ImplARMCIMPI, opt)
 		if err != nil {
@@ -328,7 +328,7 @@ func AblationDataServer(plat *platform.Platform, origins, iters, size int) (map[
 		var total sim.Time
 		var moved int64
 		var runErr error
-		_, err := harness.Run(plat, nranks, impl, armcimpi.DefaultOptions(), func(rt armci.Runtime) {
+		_, err := harness.Run(plat, nranks, impl, benchOptions(), func(rt armci.Runtime) {
 			addrs, err := rt.Malloc(size)
 			if err != nil {
 				runErr = err

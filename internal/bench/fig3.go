@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/armci"
-	"repro/internal/armcimpi"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -56,7 +55,7 @@ func ContigBandwidth(plat *platform.Platform, impl harness.Impl, op ContigOp, cf
 	nranks := 2 * plat.CoresPerNode // origin and target on different nodes
 	target := plat.CoresPerNode
 	var bwErr error
-	_, err := harness.RunObs(plat, nranks, impl, armcimpi.DefaultOptions(), cfg.Obs, func(rt armci.Runtime) {
+	_, err := harness.RunObs(plat, nranks, impl, benchOptions(), cfg.Obs, func(rt armci.Runtime) {
 		addrs, err := rt.Malloc(maxSize)
 		if err != nil {
 			bwErr = err

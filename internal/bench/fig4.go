@@ -58,7 +58,7 @@ func StridedBandwidth(plat *platform.Platform, v stridedVariant, op ContigOp, se
 }
 
 func stridedBandwidthObs(plat *platform.Platform, v stridedVariant, op ContigOp, segBytes int, counts []int, iters int, rec *obs.Recorder) (Series, error) {
-	opt := armcimpi.DefaultOptions()
+	opt := benchOptions()
 	opt.StridedMethod = v.method
 	series := Series{Label: v.label}
 	maxSegs := counts[len(counts)-1]

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/armci"
-	"repro/internal/armcimpi"
 	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -62,7 +61,7 @@ func InteropBandwidth(plat *platform.Platform, c fig5Curve, cfg Fig5Config) (Ser
 	nranks := 2 * plat.CoresPerNode
 	target := plat.CoresPerNode
 	var bwErr error
-	j, err := harness.NewJobObs(plat, nranks, c.impl, armcimpi.DefaultOptions(), cfg.Obs)
+	j, err := harness.NewJobObs(plat, nranks, c.impl, benchOptions(), cfg.Obs)
 	if err != nil {
 		return series, err
 	}

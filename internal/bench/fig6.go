@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/armcimpi"
 	"repro/internal/ga"
 	"repro/internal/harness"
 	"repro/internal/mpi"
@@ -63,7 +62,7 @@ func QuickFig6() Fig6Config {
 // NWChemPhase runs the CCSD or (T) phase of the proxy at one scale and
 // returns the phase's virtual time (max over ranks).
 func NWChemPhase(plat *platform.Platform, impl harness.Impl, cores int, p nwchem.Params, triples bool) (sim.Time, error) {
-	j, err := harness.NewJob(plat, cores, impl, armcimpi.DefaultOptions())
+	j, err := harness.NewJob(plat, cores, impl, benchOptions())
 	if err != nil {
 		return 0, err
 	}

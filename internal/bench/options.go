@@ -1,0 +1,20 @@
+package bench
+
+import "repro/internal/armcimpi"
+
+// Tweak, when non-nil, is applied to every runtime Options value the
+// bench harnesses construct. cmd/armci-bench installs it to expose
+// -batch, -strided-method, and -iov-method without threading flag
+// plumbing through every figure. Figures that set ablation-specific
+// fields (NoShm, UseMPI3, ...) do so after the hook runs, so a sweep's
+// own axis always wins over the command-line override.
+var Tweak func(*armcimpi.Options)
+
+// benchOptions is DefaultOptions plus the process-wide Tweak hook.
+func benchOptions() armcimpi.Options {
+	opt := armcimpi.DefaultOptions()
+	if Tweak != nil {
+		Tweak(&opt)
+	}
+	return opt
+}

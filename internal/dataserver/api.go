@@ -328,7 +328,8 @@ func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int
 // locally at issue, and the data server protocol makes gets blocking.
 type completed struct{}
 
-func (completed) Wait() {}
+func (completed) Wait()      {}
+func (completed) Test() bool { return true }
 
 // NbPut issues a put; local completion is immediate (buffered send).
 func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
@@ -357,6 +358,46 @@ func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
 // NbGetS issues a strided get.
 func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
 	if err := r.GetS(s); err != nil {
+		return nil, err
+	}
+	return completed{}, nil
+}
+
+// NbAcc issues an accumulate (buffered at issue, locally complete).
+func (r *Runtime) NbAcc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) (armci.Handle, error) {
+	if err := r.Acc(op, scale, src, dst, n); err != nil {
+		return nil, err
+	}
+	return completed{}, nil
+}
+
+// NbAccS issues a strided accumulate.
+func (r *Runtime) NbAccS(op armci.AccOp, scale float64, s *armci.Strided) (armci.Handle, error) {
+	if err := r.AccS(op, scale, s); err != nil {
+		return nil, err
+	}
+	return completed{}, nil
+}
+
+// NbPutV issues an I/O vector put.
+func (r *Runtime) NbPutV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if err := r.PutV(iov, proc); err != nil {
+		return nil, err
+	}
+	return completed{}, nil
+}
+
+// NbGetV issues an I/O vector get (eagerly complete, two-sided).
+func (r *Runtime) NbGetV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if err := r.GetV(iov, proc); err != nil {
+		return nil, err
+	}
+	return completed{}, nil
+}
+
+// NbAccV issues an I/O vector accumulate.
+func (r *Runtime) NbAccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if err := r.AccV(op, scale, iov, proc); err != nil {
 		return nil, err
 	}
 	return completed{}, nil

@@ -8,10 +8,38 @@ import (
 	"repro/internal/mpi"
 )
 
+// issueIOV issues one owner bucket's generalized I/O vector operation:
+// nonblocking by default, blocking under the BlockingFanout baseline
+// (nil handle).
+func (a *Array) issueIOV(kind fanKind, alpha float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
+	rt := a.env.Rt
+	if a.env.BlockingFanout {
+		var err error
+		switch kind {
+		case fanPut:
+			err = rt.PutV(iov, proc)
+		case fanGet:
+			err = rt.GetV(iov, proc)
+		default:
+			err = rt.AccV(armci.AccDbl, alpha, iov, proc)
+		}
+		return nil, err
+	}
+	switch kind {
+	case fanPut:
+		return rt.NbPutV(iov, proc)
+	case fanGet:
+		return rt.NbGetV(iov, proc)
+	default:
+		return rt.NbAccV(armci.AccDbl, alpha, iov, proc)
+	}
+}
+
 // Gather reads the elements at the given subscripts into vals
 // (NGA_Gather). The subscripts may be scattered arbitrarily; one
 // generalized I/O vector operation is issued per owning process
-// (SectionVI.A's workload).
+// (SectionVI.A's workload), all owners nonblocking with a single
+// WaitAll before the copy-out.
 func (a *Array) Gather(subs [][]int, vals []float64) error {
 	if len(vals) != len(subs) {
 		return fmt.Errorf("ga: Gather: %d subscripts but %d values", len(subs), len(vals))
@@ -21,6 +49,7 @@ func (a *Array) Gather(subs [][]int, vals []float64) error {
 		return err
 	}
 	scratch := a.env.scratch(len(subs) * elemBytes)
+	var handles []armci.Handle
 	pos := 0
 	for _, bkt := range groups {
 		g := armci.GIOV{Bytes: elemBytes}
@@ -31,10 +60,16 @@ func (a *Array) Gather(subs [][]int, vals []float64) error {
 			order[k] = pos
 			pos++
 		}
-		if err := a.env.Rt.GetV([]armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+		h, err := a.issueIOV(fanGet, 1, []armci.GIOV{g}, a.worldRankOfOwner(bkt.owner))
+		if err != nil {
+			armci.WaitAll(handles...)
 			return fmt.Errorf("ga: Gather %q: %w", a.name, err)
 		}
+		if h != nil {
+			handles = append(handles, h)
+		}
 	}
+	armci.WaitAll(handles...)
 	b, err := a.env.Rt.LocalBytes(scratch, len(subs)*elemBytes)
 	if err != nil {
 		return err
@@ -60,6 +95,7 @@ func (a *Array) Scatter(subs [][]int, vals []float64) error {
 	if err != nil {
 		return err
 	}
+	var handles []armci.Handle
 	pos := 0
 	for _, bkt := range groups {
 		g := armci.GIOV{Bytes: elemBytes}
@@ -70,10 +106,16 @@ func (a *Array) Scatter(subs [][]int, vals []float64) error {
 			g.Dst = append(g.Dst, addr)
 			pos++
 		}
-		if err := a.env.Rt.PutV([]armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+		h, err := a.issueIOV(fanPut, 1, []armci.GIOV{g}, a.worldRankOfOwner(bkt.owner))
+		if err != nil {
+			armci.WaitAll(handles...)
 			return fmt.Errorf("ga: Scatter %q: %w", a.name, err)
 		}
+		if h != nil {
+			handles = append(handles, h)
+		}
 	}
+	armci.WaitAll(handles...)
 	return nil
 }
 
@@ -95,6 +137,7 @@ func (a *Array) ScatterAcc(subs [][]int, vals []float64, alpha float64) error {
 	if err != nil {
 		return err
 	}
+	var handles []armci.Handle
 	pos := 0
 	for _, bkt := range groups {
 		g := armci.GIOV{Bytes: elemBytes}
@@ -105,10 +148,16 @@ func (a *Array) ScatterAcc(subs [][]int, vals []float64, alpha float64) error {
 			g.Dst = append(g.Dst, addr)
 			pos++
 		}
-		if err := a.env.Rt.AccV(armci.AccDbl, alpha, []armci.GIOV{g}, a.worldRankOfOwner(bkt.owner)); err != nil {
+		h, err := a.issueIOV(fanAcc, alpha, []armci.GIOV{g}, a.worldRankOfOwner(bkt.owner))
+		if err != nil {
+			armci.WaitAll(handles...)
 			return fmt.Errorf("ga: ScatterAcc %q: %w", a.name, err)
 		}
+		if h != nil {
+			handles = append(handles, h)
+		}
 	}
+	armci.WaitAll(handles...)
 	return nil
 }
 

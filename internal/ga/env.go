@@ -46,6 +46,12 @@ type Env struct {
 	Mpi  *mpi.Rank
 	next int // per-rank array id counter; identical across ranks
 
+	// BlockingFanout forces per-owner fan-outs (Put/Get/Acc and
+	// Gather/Scatter/ScatterAcc) to issue one blocking ARMCI operation
+	// per owner instead of issuing all owners nonblocking and waiting
+	// once — the baseline the ablation-nbfanout figure compares against.
+	BlockingFanout bool
+
 	// scratch is the reusable local transfer buffer. Reuse matters: a
 	// registration cache only pays off if buffers are stable, exactly
 	// as GA's MA-pool buffers behave on the real systems (Figure 5's

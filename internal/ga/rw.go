@@ -121,47 +121,100 @@ func (a *Array) checkOp(lo, hi []int, vals []float64) error {
 	return nil
 }
 
+// fanKind selects the ARMCI operation family of a fan-out.
+type fanKind int
+
+const (
+	fanPut fanKind = iota
+	fanGet
+	fanAcc
+)
+
+// issuePatch issues one owner's share of a fan-out: nonblocking by
+// default, blocking when the environment forces the per-owner baseline
+// (BlockingFanout). The handle is nil on the blocking path.
+func (a *Array) issuePatch(kind fanKind, alpha float64, s *armci.Strided) (armci.Handle, error) {
+	rt := a.env.Rt
+	if a.env.BlockingFanout {
+		var err error
+		switch {
+		case kind == fanPut && s.Levels() == 0:
+			err = rt.Put(s.Src, s.Dst, s.SegBytes())
+		case kind == fanPut:
+			err = rt.PutS(s)
+		case kind == fanGet && s.Levels() == 0:
+			err = rt.Get(s.Src, s.Dst, s.SegBytes())
+		case kind == fanGet:
+			err = rt.GetS(s)
+		case s.Levels() == 0:
+			err = rt.Acc(armci.AccDbl, alpha, s.Src, s.Dst, s.SegBytes())
+		default:
+			err = rt.AccS(armci.AccDbl, alpha, s)
+		}
+		return nil, err
+	}
+	switch {
+	case kind == fanPut && s.Levels() == 0:
+		return rt.NbPut(s.Src, s.Dst, s.SegBytes())
+	case kind == fanPut:
+		return rt.NbPutS(s)
+	case kind == fanGet && s.Levels() == 0:
+		return rt.NbGet(s.Src, s.Dst, s.SegBytes())
+	case kind == fanGet:
+		return rt.NbGetS(s)
+	case s.Levels() == 0:
+		return rt.NbAcc(armci.AccDbl, alpha, s.Src, s.Dst, s.SegBytes())
+	default:
+		return rt.NbAccS(armci.AccDbl, alpha, s)
+	}
+}
+
+// fanout is Figure 2 with per-owner aggregation: one strided ARMCI
+// operation per owning process, all owners issued nonblocking, then a
+// single WaitAll for local completion. On an issue error the handles
+// already in flight are waited before reporting, so the shared scratch
+// buffer is never left with outstanding operations.
+func (a *Array) fanout(kind fanKind, alpha float64, lo, hi []int, local armci.Addr) error {
+	var handles []armci.Handle
+	for _, p := range a.dist.Intersect(lo, hi) {
+		s := a.patchStrided(p.Owner, p, lo, hi, local, kind != fanGet)
+		h, err := a.issuePatch(kind, alpha, s)
+		if err != nil {
+			armci.WaitAll(handles...)
+			return err
+		}
+		if h != nil {
+			handles = append(handles, h)
+		}
+	}
+	armci.WaitAll(handles...)
+	return nil
+}
+
 // Put writes vals (row-major over the inclusive range [lo, hi]) into
 // the array (GA_Put / NGA_Put). One strided ARMCI put is issued per
-// owning process (Figure 2).
+// owning process (Figure 2), all owners nonblocking.
 func (a *Array) Put(lo, hi []int, vals []float64) error {
 	if err := a.checkOp(lo, hi, vals); err != nil {
 		return err
 	}
 	scratch := a.scratchFromF64(vals)
-	for _, p := range a.dist.Intersect(lo, hi) {
-		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
-		var err error
-		if s.Levels() == 0 {
-			err = a.env.Rt.Put(s.Src, s.Dst, s.SegBytes())
-		} else {
-			err = a.env.Rt.PutS(s)
-		}
-		if err != nil {
-			return fmt.Errorf("ga: Put %q: %w", a.name, err)
-		}
+	if err := a.fanout(fanPut, 1, lo, hi, scratch); err != nil {
+		return fmt.Errorf("ga: Put %q: %w", a.name, err)
 	}
 	return nil
 }
 
 // Get reads the inclusive range [lo, hi] into vals (row-major)
-// (GA_Get / NGA_Get).
+// (GA_Get / NGA_Get). The per-owner gets overlap; the copy-out happens
+// after all of them complete locally.
 func (a *Array) Get(lo, hi []int, vals []float64) error {
 	if err := a.checkOp(lo, hi, vals); err != nil {
 		return err
 	}
 	scratch := a.env.scratch(len(vals) * elemBytes)
-	for _, p := range a.dist.Intersect(lo, hi) {
-		s := a.patchStrided(p.Owner, p, lo, hi, scratch, false)
-		var err error
-		if s.Levels() == 0 {
-			err = a.env.Rt.Get(s.Src, s.Dst, s.SegBytes())
-		} else {
-			err = a.env.Rt.GetS(s)
-		}
-		if err != nil {
-			return fmt.Errorf("ga: Get %q: %w", a.name, err)
-		}
+	if err := a.fanout(fanGet, 1, lo, hi, scratch); err != nil {
+		return fmt.Errorf("ga: Get %q: %w", a.name, err)
 	}
 	a.scratchToF64(scratch, vals)
 	return nil
@@ -177,17 +230,8 @@ func (a *Array) Acc(lo, hi []int, vals []float64, alpha float64) error {
 		return fmt.Errorf("ga: Acc on non-double array %q", a.name)
 	}
 	scratch := a.scratchFromF64(vals)
-	for _, p := range a.dist.Intersect(lo, hi) {
-		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
-		var err error
-		if s.Levels() == 0 {
-			err = a.env.Rt.Acc(armci.AccDbl, alpha, s.Src, s.Dst, s.SegBytes())
-		} else {
-			err = a.env.Rt.AccS(armci.AccDbl, alpha, s)
-		}
-		if err != nil {
-			return fmt.Errorf("ga: Acc %q: %w", a.name, err)
-		}
+	if err := a.fanout(fanAcc, alpha, lo, hi, scratch); err != nil {
+		return fmt.Errorf("ga: Acc %q: %w", a.name, err)
 	}
 	return nil
 }
@@ -313,17 +357,8 @@ func (a *Array) PutI64(lo, hi []int, vals []int64) error {
 		return fmt.Errorf("ga: buffer has %d elements, patch needs %d", len(vals), want)
 	}
 	scratch := a.scratchFromI64(vals)
-	for _, p := range a.dist.Intersect(lo, hi) {
-		s := a.patchStrided(p.Owner, p, lo, hi, scratch, true)
-		var err error
-		if s.Levels() == 0 {
-			err = a.env.Rt.Put(s.Src, s.Dst, s.SegBytes())
-		} else {
-			err = a.env.Rt.PutS(s)
-		}
-		if err != nil {
-			return fmt.Errorf("ga: PutI64 %q: %w", a.name, err)
-		}
+	if err := a.fanout(fanPut, 1, lo, hi, scratch); err != nil {
+		return fmt.Errorf("ga: PutI64 %q: %w", a.name, err)
 	}
 	return nil
 }
@@ -340,17 +375,8 @@ func (a *Array) GetI64(lo, hi []int, vals []int64) error {
 		return fmt.Errorf("ga: buffer has %d elements, patch needs %d", len(vals), want)
 	}
 	scratch := a.env.scratch(len(vals) * elemBytes)
-	for _, p := range a.dist.Intersect(lo, hi) {
-		s := a.patchStrided(p.Owner, p, lo, hi, scratch, false)
-		var err error
-		if s.Levels() == 0 {
-			err = a.env.Rt.Get(s.Src, s.Dst, s.SegBytes())
-		} else {
-			err = a.env.Rt.GetS(s)
-		}
-		if err != nil {
-			return fmt.Errorf("ga: GetI64 %q: %w", a.name, err)
-		}
+	if err := a.fanout(fanGet, 1, lo, hi, scratch); err != nil {
+		return fmt.Errorf("ga: GetI64 %q: %w", a.name, err)
 	}
 	b, err := a.env.Rt.LocalBytes(scratch, len(vals)*elemBytes)
 	if err != nil {

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+)
+
+// TestPlanEngineEquivalence differentially checks the unified transfer
+// plans: a seeded pseudo-random mix of contiguous, strided, and IOV
+// put/get/acc (including nonblocking issues completed via WaitAll) must
+// leave the global memory byte-identical to the native baseline for
+// every combination of {MPI-2, MPI-3} x {shm, NoShm} x transfer method.
+func TestPlanEngineEquivalence(t *testing.T) {
+	const (
+		nranks = 6
+		slice  = 2048
+		rounds = 8
+	)
+	baseline := planWorkloadSnapshot(t, "native", ImplNative, armcimpi.DefaultOptions(), nranks, slice, rounds)
+	stridedMethods := []armcimpi.Method{
+		armcimpi.MethodConservative, armcimpi.MethodBatched,
+		armcimpi.MethodIOVDirect, armcimpi.MethodDirect,
+	}
+	iovMethods := []armcimpi.Method{
+		armcimpi.MethodConservative, armcimpi.MethodBatched,
+		armcimpi.MethodIOVDirect, armcimpi.MethodAuto,
+	}
+	for _, mpi3 := range []bool{false, true} {
+		for _, noShm := range []bool{false, true} {
+			for i := range stridedMethods {
+				opt := armcimpi.DefaultOptions()
+				opt.UseMPI3 = mpi3
+				opt.NoShm = noShm
+				opt.StridedMethod = stridedMethods[i]
+				opt.IOVMethod = iovMethods[i]
+				name := fmt.Sprintf("mpi3=%v/noshm=%v/%s+%s", mpi3, noShm, stridedMethods[i], iovMethods[i])
+				got := planWorkloadSnapshot(t, name, ImplARMCIMPI, opt, nranks, slice, rounds)
+				if len(got) != len(baseline) {
+					t.Fatalf("%s: snapshot length %d != native %d", name, len(got), len(baseline))
+				}
+				for k := range got {
+					if got[k] != baseline[k] {
+						t.Fatalf("%s diverges from native at byte %d (%d vs %d)", name, k, got[k], baseline[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// planWorkloadSnapshot runs the randomized workload on one stack and
+// returns rank 0's snapshot of every slice. Each rank owns the
+// disjoint 256-byte window [rank*256, rank*256+256) of every target
+// slice, subdivided per operation family, so concurrent writers never
+// conflict; shared areas (1536+) take only commutative accumulates.
+func planWorkloadSnapshot(t *testing.T, name string, impl Impl, opt armcimpi.Options, nranks, slice, rounds int) []byte {
+	t.Helper()
+	var final []byte
+	_, err := Run(TestPlatform(), nranks, impl, opt, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(slice)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		local := rt.MallocLocal(slice)
+		lb, err := rt.LocalBytes(local, slice)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rnd := rand.New(rand.NewSource(int64(4000 + rt.Rank())))
+		fill := func(n int) {
+			for i := 0; i < n; i++ {
+				lb[i] = byte(rnd.Intn(256))
+			}
+		}
+		for round := 0; round < rounds; round++ {
+			myOff := rt.Rank() * 256
+			target := rnd.Intn(nranks)
+			switch rnd.Intn(7) {
+			case 0: // contiguous put at +0
+				n := 8 * (1 + rnd.Intn(8))
+				fill(n)
+				if err := rt.Put(local, addrs[target].Add(myOff), n); err != nil {
+					t.Error(err)
+				}
+			case 1: // strided put at +64
+				seg := 8 * (1 + rnd.Intn(2))
+				cnt := 1 + rnd.Intn(2)
+				fill(seg * cnt)
+				s := &armci.Strided{
+					Src: local, Dst: addrs[target].Add(myOff + 64),
+					SrcStride: []int{seg}, DstStride: []int{seg * 2},
+					Count: []int{seg, cnt},
+				}
+				if err := rt.PutS(s); err != nil {
+					t.Error(err)
+				}
+			case 2: // strided accumulate into the shared area at 1536
+				for i := 0; i < 6; i++ {
+					binary.LittleEndian.PutUint64(lb[8*i:], math.Float64bits(float64(rnd.Intn(5))))
+				}
+				s := &armci.Strided{
+					Src: local, Dst: addrs[target].Add(1536),
+					SrcStride: []int{16}, DstStride: []int{32},
+					Count: []int{16, 3},
+				}
+				if err := rt.AccS(armci.AccDbl, float64(1+rnd.Intn(3)), s); err != nil {
+					t.Error(err)
+				}
+			case 3: // iov put at +128
+				fill(96)
+				iov := armci.GIOV{
+					Src:   []armci.Addr{local, local.Add(64)},
+					Dst:   []armci.Addr{addrs[target].Add(myOff + 128), addrs[target].Add(myOff + 160)},
+					Bytes: 32,
+				}
+				if err := rt.PutV([]armci.GIOV{iov}, target); err != nil {
+					t.Error(err)
+				}
+			case 4: // iov accumulate into the shared area at 1664
+				for i := 0; i < 4; i++ {
+					binary.LittleEndian.PutUint64(lb[8*i:], math.Float64bits(float64(rnd.Intn(5))))
+				}
+				iov := armci.GIOV{
+					Src:   []armci.Addr{local, local.Add(16)},
+					Dst:   []armci.Addr{addrs[target].Add(1664), addrs[target].Add(1696)},
+					Bytes: 16,
+				}
+				if err := rt.AccV(armci.AccDbl, 1, []armci.GIOV{iov}, target); err != nil {
+					t.Error(err)
+				}
+			case 5: // strided get from my window, write-back at +192
+				s := &armci.Strided{
+					Src: addrs[target].Add(myOff), Dst: local,
+					SrcStride: []int{16}, DstStride: []int{16},
+					Count: []int{16, 2},
+				}
+				if err := rt.GetS(s); err != nil {
+					t.Error(err)
+				}
+				back := rnd.Intn(nranks)
+				if err := rt.Put(local, addrs[back].Add(myOff+192), 32); err != nil {
+					t.Error(err)
+				}
+			case 6: // nonblocking contiguous put at +224, completed via WaitAll
+				n := 8 * (1 + rnd.Intn(4))
+				fill(n)
+				h, err := rt.NbPut(local, addrs[target].Add(myOff+224), n)
+				if err != nil {
+					t.Error(err)
+				} else {
+					armci.WaitAll(h)
+				}
+			}
+			rt.Barrier() // phase boundary: well-defined final state
+		}
+		if rt.Rank() == 0 {
+			final = make([]byte, 0, nranks*slice)
+			buf := rt.MallocLocal(slice)
+			for tgt := 0; tgt < nranks; tgt++ {
+				if err := rt.Get(addrs[tgt], buf, slice); err != nil {
+					t.Error(err)
+				}
+				bb, _ := rt.LocalBytes(buf, slice)
+				final = append(final, bb...)
+			}
+		}
+		rt.Barrier()
+		if err := rt.Free(addrs[rt.Rank()]); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return final
+}

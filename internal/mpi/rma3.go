@@ -177,6 +177,28 @@ func (q *RMAReq) Test() bool {
 	return q.r.P.Now() >= t
 }
 
+// WaitAllRMA blocks until every request in reqs has completed locally
+// (MPI_Waitall over request-based RMA operations). Nil requests are
+// permitted and skipped, and requests may be waited more than once.
+func WaitAllRMA(reqs []*RMAReq) {
+	for _, q := range reqs {
+		if q != nil {
+			q.Wait()
+		}
+	}
+}
+
+// TestAllRMA reports whether every request in reqs has completed
+// locally, without blocking (MPI_Testall).
+func TestAllRMA(reqs []*RMAReq) bool {
+	for _, q := range reqs {
+		if q != nil && !q.Test() {
+			return false
+		}
+	}
+	return true
+}
+
 // RPut is a request-based Put (MPI_Rput): valid in lock-all mode; the
 // returned request completes when the origin buffer is reusable.
 func (w *Win) RPut(buf LocalBuf, target, tdisp int, ttype Datatype) (*RMAReq, error) {

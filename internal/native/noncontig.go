@@ -211,6 +211,15 @@ func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
 	return r.getSegs(segs, s.Src.Rank)
 }
 
+// NbAccS is the nonblocking strided accumulate; the pipeline buffers
+// the source at issue, so local completion is immediate.
+func (r *Runtime) NbAccS(op armci.AccOp, scale float64, s *armci.Strided) (armci.Handle, error) {
+	if err := r.AccS(op, scale, s); err != nil {
+		return nil, err
+	}
+	return newHandle(r, true), nil
+}
+
 // PutV performs a generalized I/O vector put to proc.
 func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
 	segs, err := r.resolveIOV(iov, proc, false)
@@ -246,4 +255,31 @@ func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int
 		}
 	}
 	return r.putSegs(segs, proc, true, scale)
+}
+
+// NbPutV is the nonblocking I/O vector put (locally complete at issue).
+func (r *Runtime) NbPutV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if err := r.PutV(iov, proc); err != nil {
+		return nil, err
+	}
+	return newHandle(r, true), nil
+}
+
+// NbGetV is the nonblocking I/O vector get; Wait blocks until every
+// segment has landed.
+func (r *Runtime) NbGetV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	segs, err := r.resolveIOV(iov, proc, true)
+	if err != nil {
+		return nil, err
+	}
+	return r.getSegs(segs, proc)
+}
+
+// NbAccV is the nonblocking I/O vector accumulate (locally complete at
+// issue).
+func (r *Runtime) NbAccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if err := r.AccV(op, scale, iov, proc); err != nil {
+		return nil, err
+	}
+	return newHandle(r, true), nil
 }

@@ -47,6 +47,9 @@ func (h *handle) Wait() {
 	}
 }
 
+// Test reports local completion without blocking.
+func (h *handle) Test() bool { return h.done }
+
 // Put copies n bytes from the local src to the global dst; blocking
 // local completion (the data has left the source buffer).
 func (r *Runtime) Put(src, dst armci.Addr, n int) error {
@@ -182,6 +185,15 @@ func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
 	r.w.BytesMoved += int64(n)
 	r.w.Segments++
 	return h, nil
+}
+
+// NbAcc issues an accumulate; the native pipeline buffers the scaled
+// source at issue, so local completion is immediate.
+func (r *Runtime) NbAcc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) (armci.Handle, error) {
+	if err := r.Acc(op, scale, src, dst, n); err != nil {
+		return nil, err
+	}
+	return newHandle(r, true), nil
 }
 
 func decodeF64(b []byte) []float64 {

@@ -31,6 +31,10 @@ const (
 	CGmrBytes   = "gmr.bytes"         // bytes exposed in GMRs
 	CGmrFree    = "gmr.free"          // GMR frees
 	CStaged     = "armci.staged"      // global-buffer staging events
+	CPlanExec   = "plan.exec"         // transfer plans executed
+	CPlanSegs   = "plan.segs"         // MPI-level segments issued by plans
+	CNbIssued   = "nb.issued"         // request-based nonblocking operations issued
+	CNbDone     = "nb.done"           // request-based operations completed at Wait/Test
 	TMutexWait  = "mutex.wait"        // RMW mutex acquisition wait
 	GMutexQueue = "mutex.queue.depth" // max waiters seen behind a mutex
 
