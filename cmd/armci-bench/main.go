@@ -11,9 +11,16 @@
 //	armci-bench -fig ablation-nbfanout [-platform ...] [-quick]
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
+//	armci-bench -fig wallclock
 //
 // With no -platform, figure sweeps run on all four platforms. Output is
 // gnuplot-style columns on stdout.
+//
+// The wallclock figure measures the simulator harness's own host-time
+// cost (issue rates, pack throughput, scheduler event rates). Unlike
+// every other figure it is machine dependent and NOT byte-deterministic,
+// so its JSON export is a trajectory record, not a guarded artifact. It
+// is excluded from -fig all for that reason.
 //
 // Runtime tuning (applied to every job a sweep constructs; an
 // ablation's own axis still overrides these):
@@ -114,7 +121,7 @@ func platforms(name string) ([]*platform.Platform, error) {
 
 func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir string) error {
 	switch fig {
-	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablations", "table2", "all":
+	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablations", "table2", "wallclock", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -289,6 +296,17 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 		if fig == "ablation-nbfanout" {
 			return nil
 		}
+	}
+	if fig == "wallclock" {
+		cfg := bench.DefaultWallclock()
+		if quick {
+			cfg = bench.QuickWallclock()
+		}
+		f, err := bench.Wallclock(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(f, jsonDir)
 	}
 	if fig == "ablations" || fig == "all" {
 		return ablations()

@@ -22,12 +22,12 @@ import (
 type execState struct {
 	r     *Runtime
 	e     *epochCtl
-	views []*localView
+	views []localView
 	wb    []bool
 	temps []*fabric.Region
 }
 
-func (st *execState) addView(v *localView, writeBack bool) {
+func (st *execState) addView(v localView, writeBack bool) {
 	st.views = append(st.views, v)
 	st.wb = append(st.wb, writeBack)
 }
@@ -57,8 +57,8 @@ func (st *execState) finish() error {
 		}
 	}
 	st.temps = nil
-	for i, v := range st.views {
-		if err := st.r.release(v, st.wb[i]); err != nil {
+	for i := range st.views {
+		if err := st.r.release(&st.views[i], st.wb[i]); err != nil {
 			return err
 		}
 	}
@@ -79,8 +79,8 @@ func (st *execState) abort() {
 		_ = sp.Free(t.VA)
 	}
 	st.temps = nil
-	for _, v := range st.views {
-		_ = st.r.release(v, false)
+	for i := range st.views {
+		_ = st.r.release(&st.views[i], false)
 	}
 	st.views, st.wb = nil, nil
 }
@@ -116,7 +116,7 @@ func (r *Runtime) execSingle(p *plan) (err error) {
 	buf := v.buf(p.local.VA, p.ltype)
 	if p.class == classAcc && p.scale != 1 {
 		var scaled *fabric.Region
-		if scaled, err = r.prescale(v, p.local.VA, p.ltype, p.scale); err != nil {
+		if scaled, err = r.prescale(&v, p.local.VA, p.ltype, p.scale); err != nil {
 			return err
 		}
 		st.addTemp(scaled)
@@ -165,7 +165,7 @@ func (r *Runtime) execBatched(p *plan) (err error) {
 		}
 		st.e = e
 		for _, sg := range p.segs[start:end] {
-			var v *localView
+			var v localView
 			if v, err = r.acquireLocal(sg.local, sg.n); err != nil {
 				return err
 			}
@@ -173,7 +173,7 @@ func (r *Runtime) execBatched(p *plan) (err error) {
 			buf := v.buf(sg.local.VA, mpi.TypeContiguous(sg.n))
 			if p.class == classAcc && p.scale != 1 {
 				var scaled *fabric.Region
-				if scaled, err = r.prescale(v, sg.local.VA, mpi.TypeContiguous(sg.n), p.scale); err != nil {
+				if scaled, err = r.prescale(&v, sg.local.VA, mpi.TypeContiguous(sg.n), p.scale); err != nil {
 					return err
 				}
 				st.addTemp(scaled)
@@ -220,7 +220,7 @@ func (r *Runtime) execPerSeg(p *plan) error {
 type nbHandle struct {
 	r     *Runtime
 	reqs  []*mpi.RMAReq
-	views []*localView
+	views []localView
 	wb    []bool
 	temps []*fabric.Region
 	done  bool
@@ -257,8 +257,8 @@ func (h *nbHandle) settle() {
 			panic(fmt.Sprintf("armcimpi: nonblocking cleanup failed: %v", err))
 		}
 	}
-	for i, v := range h.views {
-		if err := h.r.release(v, h.wb[i]); err != nil {
+	for i := range h.views {
+		if err := h.r.release(&h.views[i], h.wb[i]); err != nil {
 			panic(fmt.Sprintf("armcimpi: nonblocking cleanup failed: %v", err))
 		}
 	}
@@ -319,7 +319,7 @@ func (r *Runtime) issueOneNb3(h *nbHandle, p *plan, local armci.Addr, span int, 
 	h.wb = append(h.wb, p.class == classGet)
 	buf := v.buf(local.VA, ltype)
 	if p.class == classAcc && p.scale != 1 {
-		scaled, err := r.prescale(v, local.VA, ltype, p.scale)
+		scaled, err := r.prescale(&v, local.VA, ltype, p.scale)
 		if err != nil {
 			return err
 		}

@@ -11,8 +11,10 @@ package armcimpi
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/armci"
+	"repro/internal/conflicttree"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -110,10 +112,26 @@ type World struct {
 	gmrs   []*GMR
 	nextID int
 
+	// Translation indexes, maintained by register/unregister: ids maps
+	// GMR id -> GMR, and spans holds each world rank's allocations as a
+	// VA-sorted interval list, so find resolves <rank, address> in
+	// O(log #allocations) instead of scanning every GMR. Intervals on
+	// one rank are disjoint because each rank's allocator hands out
+	// disjoint VA ranges.
+	ids   map[int]*GMR
+	spans map[int][]gmrSpan
+
 	// Counters.
 	Staged    int64 // global-buffer staging events (SectionV.E.1)
 	AutoScans int64 // conflict-tree scans performed by MethodAuto
 	AutoFalls int64 // scans that fell back to conservative
+}
+
+// gmrSpan is one rank-local VA interval [lo, hi) of a GMR.
+type gmrSpan struct {
+	lo, hi int64
+	g      *GMR
+	gr     int // the GMR's group (window) rank on this world rank
 }
 
 // NewWorld creates ARMCI-MPI state on an MPI world.
@@ -134,32 +152,65 @@ type GMR struct {
 }
 
 // find locates the GMR containing the address and returns the window
-// rank and byte displacement.
+// rank and byte displacement, by binary search over the rank's sorted
+// interval list.
 func (w *World) find(addr armci.Addr) (*GMR, int, int, bool) {
-	for _, g := range w.gmrs {
-		gr, ok := g.rankOf[addr.Rank]
-		if !ok {
-			continue
-		}
-		base := g.addrs[gr]
-		if base.Nil() {
-			continue
-		}
-		if addr.VA >= base.VA && addr.VA < base.VA+int64(g.sizes[gr]) {
-			return g, gr, int(addr.VA - base.VA), true
-		}
+	spans := w.spans[addr.Rank]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi > addr.VA })
+	if i < len(spans) && addr.VA >= spans[i].lo {
+		s := &spans[i]
+		return s.g, s.gr, int(addr.VA - s.lo), true
 	}
 	return nil, 0, 0, false
 }
 
 // byID returns a registered GMR.
-func (w *World) byID(id int) *GMR {
-	for _, g := range w.gmrs {
-		if g.id == id {
-			return g
+func (w *World) byID(id int) *GMR { return w.ids[id] }
+
+// register enters a GMR into the translation table and both indexes.
+func (w *World) register(g *GMR) {
+	w.gmrs = append(w.gmrs, g)
+	if w.ids == nil {
+		w.ids = map[int]*GMR{}
+		w.spans = map[int][]gmrSpan{}
+	}
+	w.ids[g.id] = g
+	for gr, world := range g.group {
+		if g.sizes[gr] == 0 {
+			continue
+		}
+		lo := g.addrs[gr].VA
+		sp := gmrSpan{lo: lo, hi: lo + int64(g.sizes[gr]), g: g, gr: gr}
+		list := w.spans[world]
+		i := sort.Search(len(list), func(i int) bool { return list[i].lo >= sp.lo })
+		list = append(list, gmrSpan{})
+		copy(list[i+1:], list[i:])
+		list[i] = sp
+		w.spans[world] = list
+	}
+}
+
+// unregister removes a GMR from the table and both indexes.
+func (w *World) unregister(g *GMR) {
+	for i, e := range w.gmrs {
+		if e == g {
+			w.gmrs = append(w.gmrs[:i], w.gmrs[i+1:]...)
+			break
 		}
 	}
-	return nil
+	delete(w.ids, g.id)
+	for gr, world := range g.group {
+		if g.sizes[gr] == 0 {
+			continue
+		}
+		list := w.spans[world]
+		for i := range list {
+			if list[i].g == g && list[i].gr == gr {
+				w.spans[world] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Runtime is one rank's ARMCI-MPI handle.
@@ -173,9 +224,31 @@ type Runtime struct {
 
 	// Outstanding MPI-3 request ops, tracked per window and per target
 	// (window rank) so Fence(proc) can flush just that target.
-	// pendingOrder keeps deterministic iteration order.
-	pending      map[*mpi.Win]map[int]bool
+	// pendingOrder keeps deterministic iteration order; each entry
+	// remembers its slot so dropPending is O(1) (dropped slots are
+	// tombstoned to nil and compacted once they outnumber live ones).
+	pending      map[*mpi.Win]*pendingOps
 	pendingOrder []*mpi.Win
+	pendingDead  int // tombstoned slots in pendingOrder
+
+	// scan is the compiler's scratch conflict tree, Reset and reused
+	// across descriptor scans so each scan is allocation-free once the
+	// node pool has warmed up.
+	scan conflicttree.Tree
+
+	// dtMemo is a small ring of recently translated strided datatypes.
+	// Applications overwhelmingly reissue transfers with the same
+	// stride/count shape (different addresses), and reusing the Datatype
+	// also reuses its flatten cache across operations. Datatypes are
+	// immutable, so sharing one across plans is safe.
+	dtMemo [4]dtEntry
+	dtNext int
+}
+
+// dtEntry is one memoized stride/count -> Datatype translation.
+type dtEntry struct {
+	stride, count []int
+	t             mpi.Datatype
 }
 
 // dlaSection is one open AccessBegin section.
@@ -190,34 +263,59 @@ func New(w *World, r *mpi.Rank, opt Options) *Runtime {
 		W: w, R: r, Opt: opt,
 		coll:    armci.MPIColl{R: r},
 		dla:     map[int64]dlaSection{},
-		pending: map[*mpi.Win]map[int]bool{},
+		pending: map[*mpi.Win]*pendingOps{},
 	}
+}
+
+// pendingOps tracks one window's unfenced targets and its slot in
+// pendingOrder.
+type pendingOps struct {
+	targets map[int]bool // window ranks with outstanding request ops
+	idx     int          // this window's slot in pendingOrder
 }
 
 // addPending records an unfenced nonblocking op on win targeting the
 // given window rank.
 func (r *Runtime) addPending(win *mpi.Win, gr int) {
-	set := r.pending[win]
-	if set == nil {
-		set = map[int]bool{}
-		r.pending[win] = set
+	ent := r.pending[win]
+	if ent == nil {
+		if r.pendingDead > len(r.pendingOrder)-r.pendingDead {
+			r.compactPending()
+		}
+		ent = &pendingOps{targets: map[int]bool{}, idx: len(r.pendingOrder)}
+		r.pending[win] = ent
 		r.pendingOrder = append(r.pendingOrder, win)
 	}
-	set[gr] = true
+	ent.targets[gr] = true
 }
 
-// dropPending forgets all outstanding-op tracking for win.
+// dropPending forgets all outstanding-op tracking for win: O(1), the
+// window's pendingOrder slot is tombstoned rather than slice-deleted.
 func (r *Runtime) dropPending(win *mpi.Win) {
-	if _, ok := r.pending[win]; !ok {
+	ent, ok := r.pending[win]
+	if !ok {
 		return
 	}
 	delete(r.pending, win)
-	for i, w := range r.pendingOrder {
-		if w == win {
-			r.pendingOrder = append(r.pendingOrder[:i], r.pendingOrder[i+1:]...)
-			break
+	r.pendingOrder[ent.idx] = nil
+	r.pendingDead++
+}
+
+// compactPending squeezes tombstones out of pendingOrder, preserving
+// insertion order and refreshing each entry's slot.
+func (r *Runtime) compactPending() {
+	live := r.pendingOrder[:0]
+	for _, w := range r.pendingOrder {
+		if w != nil {
+			r.pending[w].idx = len(live)
+			live = append(live, w)
 		}
 	}
+	for i := len(live); i < len(r.pendingOrder); i++ {
+		r.pendingOrder[i] = nil
+	}
+	r.pendingOrder = live
+	r.pendingDead = 0
 }
 
 // winCreate creates a GMR/mutex backing window, using the shared
@@ -307,7 +405,7 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 				g.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
 			}
 		}
-		r.W.gmrs = append(r.W.gmrs, g)
+		r.W.register(g)
 		id = g.id
 	}
 	id = int(comm.BcastI64(0, []int64{int64(id)})[0])
@@ -323,7 +421,9 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	o := r.obs()
 	o.Inc(r.Rank(), obs.CGmrAlloc)
 	o.Add(r.Rank(), obs.CGmrBytes, int64(bytes))
-	o.Span(r.Rank(), "armci", "gmr.alloc", t0, r.R.P.Now(), obs.A("bytes", bytes), obs.A("id", id))
+	if o.Tracing() {
+		o.Span(r.Rank(), "armci", "gmr.alloc", t0, r.R.P.Now(), obs.A("bytes", bytes), obs.A("id", id))
+	}
 	return append([]armci.Addr(nil), g.addrs...), nil
 }
 
@@ -389,12 +489,7 @@ func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr) error {
 	}
 	comm.Barrier()
 	if comm.Rank() == 0 {
-		for i, e := range r.W.gmrs {
-			if e == g {
-				r.W.gmrs = append(r.W.gmrs[:i], r.W.gmrs[i+1:]...)
-				break
-			}
-		}
+		r.W.unregister(g)
 	}
 	r.obs().Inc(r.Rank(), obs.CGmrFree)
 	return nil

@@ -123,8 +123,10 @@ func (m *Mutexes) Lock(mtx, proc int) {
 	rank := m.r.Rank()
 	o.MaxGauge(rank, obs.GMutexQueue, int64(queued))
 	o.AddTime(rank, obs.TMutexWait, m.r.R.P.Now()-t0)
-	o.Span(rank, "armci", "mutex.lock", t0, m.r.R.P.Now(),
-		obs.A("host", proc), obs.A("queued", queued))
+	if o.Tracing() {
+		o.Span(rank, "armci", "mutex.lock", t0, m.r.R.P.Now(),
+			obs.A("host", proc), obs.A("queued", queued))
+	}
 }
 
 // Unlock releases mutex mtx on world rank proc, forwarding it to the

@@ -55,9 +55,43 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 	case classAcc:
 		name = "accs"
 	}
-	r.obs().Span(r.Rank(), "armci", name, t0, r.R.P.Now(),
-		obs.A("method", method.String()), obs.A("seg", s.SegBytes()))
+	if o := r.obs(); o.Tracing() {
+		o.Span(r.Rank(), "armci", name, t0, r.R.P.Now(),
+			obs.A("method", method.String()), obs.A("seg", s.SegBytes()))
+	}
 	return nil
+}
+
+// stridedTypeCached is stridedType behind the runtime's small memo
+// ring: repeated transfers with the same stride/count shape get the
+// same Datatype back, so its flatten cache survives across operations.
+func (r *Runtime) stridedTypeCached(stride, count []int) mpi.Datatype {
+	for i := range r.dtMemo {
+		e := &r.dtMemo[i]
+		if e.t != nil && eqInts(e.stride, stride) && eqInts(e.count, count) {
+			return e.t
+		}
+	}
+	t := stridedType(stride, count)
+	r.dtMemo[r.dtNext] = dtEntry{
+		stride: append([]int(nil), stride...),
+		count:  append([]int(nil), count...),
+		t:      t,
+	}
+	r.dtNext = (r.dtNext + 1) % len(r.dtMemo)
+	return t
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // stridedType builds the MPI datatype for one side of a strided
@@ -110,16 +144,17 @@ func (r *Runtime) prescale(v *localView, baseVA int64, t mpi.Datatype, scale flo
 	m.CopyLocal(r.R.P, n)
 	m.Compute(r.R.P, float64(n/8))
 	src := v.reg.Bytes(v.reg.VA+(baseVA-v.base), t.Span())
+	// Pack through the flatten cache, scaling the decoded copy in place
+	// before re-encoding into the dense output.
 	pos := 0
-	t.Segments(func(off, ln int) {
-		vals := mpi.BytesToF64s(src[off : off+ln])
-		sc := make([]float64, len(vals))
+	for _, s := range mpi.Flatten(t).Segs {
+		vals := mpi.BytesToF64s(src[s.Off : s.Off+s.N])
 		for i, x := range vals {
-			sc[i] = x * scale
+			vals[i] = x * scale
 		}
-		copy(out.Data[pos:pos+ln], mpi.F64sToBytes(sc))
-		pos += ln
-	})
+		copy(out.Data[pos:pos+s.N], mpi.F64sToBytes(vals))
+		pos += s.N
+	}
 	return out, nil
 }
 

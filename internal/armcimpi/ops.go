@@ -69,21 +69,23 @@ func (r *Runtime) dlaCovers(g *GMR, va int64, span int) bool {
 
 // acquireLocal prepares [addr, addr+span) for use as the local side.
 // The returned view's reg/base replace the original region/address.
-func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
+// The view is returned by value so the common unstaged case stays off
+// the heap.
+func (r *Runtime) acquireLocal(addr armci.Addr, span int) (localView, error) {
 	if addr.Rank != r.Rank() {
-		return nil, fmt.Errorf("armcimpi: local buffer %v is not on rank %d", addr, r.Rank())
+		return localView{}, fmt.Errorf("armcimpi: local buffer %v is not on rank %d", addr, r.Rank())
 	}
 	m := r.W.Mpi.M
 	reg := m.Space(r.Rank()).Find(addr.VA, span)
 	if reg == nil {
-		return nil, fmt.Errorf("armcimpi: local address %v (+%d) not in any allocation", addr, span)
+		return localView{}, fmt.Errorf("armcimpi: local address %v (+%d) not in any allocation", addr, span)
 	}
 	g, gr, _, inGMR := r.W.find(addr)
 	// MPI-3 mode needs no staging: lock-all relaxes conflicting access
 	// from erroneous to undefined, and the coherent-platform assumption
 	// (SectionV.E.1) makes direct use safe.
 	if !inGMR || r.Opt.NoStaging || r.Opt.UseMPI3 {
-		return &localView{reg: reg, base: reg.VA}, nil
+		return localView{reg: reg, base: reg.VA}, nil
 	}
 	// Stage: copy the span out under an exclusive self-lock. If the span
 	// lies inside an open DLA section, that section already holds the
@@ -95,21 +97,23 @@ func (r *Runtime) acquireLocal(addr armci.Addr, span int) (*localView, error) {
 	owned := r.dlaCovers(g, addr.VA, span)
 	if !owned {
 		if err := win.Lock(mpi.LockExclusive, gr); err != nil {
-			return nil, err
+			return localView{}, err
 		}
 	}
 	m.CopyLocal(r.R.P, span)
 	copy(tmp.Data, reg.Bytes(addr.VA, span))
 	if !owned {
 		if err := win.Unlock(gr); err != nil {
-			return nil, err
+			return localView{}, err
 		}
 	}
 	r.W.Staged++
 	o := r.obs()
 	o.Inc(r.Rank(), obs.CStaged)
-	o.Span(r.Rank(), "armci", "stage", t0, r.R.P.Now(), obs.A("bytes", span))
-	return &localView{reg: tmp, base: addr.VA, staged: true, dlaOwned: owned, orig: addr, span: span, g: g, myRank: gr}, nil
+	if o.Tracing() {
+		o.Span(r.Rank(), "armci", "stage", t0, r.R.P.Now(), obs.A("bytes", span))
+	}
+	return localView{reg: tmp, base: addr.VA, staged: true, dlaOwned: owned, orig: addr, span: span, g: g, myRank: gr}, nil
 }
 
 // release finishes with a local view; when writeBack is set (get
@@ -172,7 +176,9 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 	if err := r.execute(p); err != nil {
 		return err
 	}
-	r.obs().Span(r.Rank(), "armci", "put", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	if o := r.obs(); o.Tracing() {
+		o.Span(r.Rank(), "armci", "put", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	}
 	return nil
 }
 
@@ -190,7 +196,9 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 	if err := r.execute(p); err != nil {
 		return err
 	}
-	r.obs().Span(r.Rank(), "armci", "get", t0, r.R.P.Now(), obs.A("from", src.Rank), obs.A("bytes", n))
+	if o := r.obs(); o.Tracing() {
+		o.Span(r.Rank(), "armci", "get", t0, r.R.P.Now(), obs.A("from", src.Rank), obs.A("bytes", n))
+	}
 	return nil
 }
 
@@ -212,7 +220,9 @@ func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int)
 	if err := r.execute(p); err != nil {
 		return err
 	}
-	r.obs().Span(r.Rank(), "armci", "acc", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	if o := r.obs(); o.Tracing() {
+		o.Span(r.Rank(), "armci", "acc", t0, r.R.P.Now(), obs.A("to", dst.Rank), obs.A("bytes", n))
+	}
 	return nil
 }
 
@@ -227,16 +237,19 @@ func (r *Runtime) Fence(proc int) {
 		return
 	}
 	for _, win := range append([]*mpi.Win(nil), r.pendingOrder...) {
-		targets := r.pending[win]
+		if win == nil {
+			continue // tombstoned by an earlier dropPending
+		}
+		ent := r.pending[win]
 		gr := win.Comm().RankOfWorld(proc)
-		if targets == nil || gr < 0 || !targets[gr] {
+		if ent == nil || gr < 0 || !ent.targets[gr] {
 			continue
 		}
 		if err := win.Flush(gr); err != nil {
 			panic(fmt.Sprintf("armcimpi: fence flush failed: %v", err))
 		}
-		delete(targets, gr)
-		if len(targets) == 0 {
+		delete(ent.targets, gr)
+		if len(ent.targets) == 0 {
 			r.dropPending(win)
 		}
 	}
@@ -247,13 +260,17 @@ func (r *Runtime) AllFence() {
 	if !r.Opt.UseMPI3 || len(r.pending) == 0 {
 		return
 	}
-	for _, win := range append([]*mpi.Win(nil), r.pendingOrder...) {
+	for _, win := range r.pendingOrder {
+		if win == nil {
+			continue
+		}
 		if err := win.FlushAll(); err != nil {
 			panic(fmt.Sprintf("armcimpi: fence flush failed: %v", err))
 		}
 	}
-	r.pending = map[*mpi.Win]map[int]bool{}
+	r.pending = map[*mpi.Win]*pendingOps{}
 	r.pendingOrder = nil
+	r.pendingDead = 0
 }
 
 // Barrier synchronizes all processes. Outstanding nonblocking

@@ -1,0 +1,178 @@
+package armcimpi
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+)
+
+// checkPendingInvariants verifies the pending-tracking bookkeeping:
+// every live map entry owns exactly the pendingOrder slot its idx
+// names, tombstone accounting matches the nil slots, and no window
+// appears twice.
+func checkPendingInvariants(t *testing.T, rt *Runtime) {
+	t.Helper()
+	dead := 0
+	for i, w := range rt.pendingOrder {
+		if w == nil {
+			dead++
+			continue
+		}
+		ent := rt.pending[w]
+		if ent == nil {
+			t.Fatalf("pendingOrder[%d] has window with no map entry", i)
+		}
+		if ent.idx != i {
+			t.Fatalf("pendingOrder[%d]: entry idx = %d", i, ent.idx)
+		}
+	}
+	if dead != rt.pendingDead {
+		t.Fatalf("pendingDead = %d, counted %d tombstones", rt.pendingDead, dead)
+	}
+	if live := len(rt.pendingOrder) - dead; live != len(rt.pending) {
+		t.Fatalf("live slots %d, map entries %d", live, len(rt.pending))
+	}
+}
+
+// TestDropPendingInterleavedFree is the regression test for the O(1)
+// dropPending bookkeeping: many windows with outstanding nonblocking
+// operations, freed and fenced in an interleaved order, must keep the
+// pending index consistent through tombstoning and compaction — the
+// old linear-scan removal had no idx/tombstone state to corrupt, so
+// this exercises exactly the new machinery.
+func TestDropPendingInterleavedFree(t *testing.T) {
+	opt := DefaultOptions()
+	opt.UseMPI3 = true
+	run(t, 2, opt, func(rt *Runtime) {
+		const nwin = 8
+		const sz = 256
+		var gmrs [nwin][]armci.Addr
+		for i := 0; i < nwin; i++ {
+			addrs, err := rt.Malloc(sz)
+			must(t, err)
+			gmrs[i] = addrs
+		}
+		local := rt.MallocLocal(sz)
+		lb, err := rt.LocalBytes(local, sz)
+		must(t, err)
+
+		if rt.Rank() == 0 {
+			for i := range lb {
+				lb[i] = byte(i % 253)
+			}
+			// Outstanding ops on every window, issued in order.
+			var hs []armci.Handle
+			for i := 0; i < nwin; i++ {
+				h, err := rt.NbPut(local, gmrs[i][1], sz)
+				must(t, err)
+				hs = append(hs, h)
+			}
+			armci.WaitAll(hs...)
+			checkPendingInvariants(t, rt)
+			if len(rt.pending) != nwin {
+				t.Fatalf("pending windows = %d, want %d", len(rt.pending), nwin)
+			}
+
+			// Fence the target: every window drains, each drop is a
+			// tombstone or triggers compaction.
+			rt.Fence(1)
+			checkPendingInvariants(t, rt)
+			if len(rt.pending) != 0 {
+				t.Fatalf("pending windows after fence = %d, want 0", len(rt.pending))
+			}
+
+			// Re-issue on an interleaved subset, then fence again so the
+			// windows freed below have nothing outstanding.
+			for _, i := range []int{1, 3, 5, 7, 0} {
+				h, err := rt.NbPut(local, gmrs[i][1], sz)
+				must(t, err)
+				h.Wait()
+			}
+			checkPendingInvariants(t, rt)
+			rt.Fence(1)
+			checkPendingInvariants(t, rt)
+		}
+		rt.Barrier()
+
+		// Free every other window (collective): dropPending runs on both
+		// ranks, on rank 0 against a tombstone-bearing order slice.
+		for _, i := range []int{0, 2, 4, 6} {
+			must(t, rt.Free(gmrs[i][rt.Rank()]))
+		}
+		checkPendingInvariants(t, rt)
+
+		if rt.Rank() == 0 {
+			// The surviving windows must still work and keep consistent
+			// bookkeeping through another issue/fence cycle.
+			for _, i := range []int{7, 1, 5, 3} {
+				h, err := rt.NbPut(local, gmrs[i][1], sz)
+				must(t, err)
+				h.Wait()
+			}
+			checkPendingInvariants(t, rt)
+			rt.AllFence()
+			checkPendingInvariants(t, rt)
+			if len(rt.pending) != 0 || len(rt.pendingOrder) != 0 || rt.pendingDead != 0 {
+				t.Fatalf("AllFence left pending=%d order=%d dead=%d",
+					len(rt.pending), len(rt.pendingOrder), rt.pendingDead)
+			}
+
+			// Data check on one survivor.
+			check := rt.MallocLocal(sz)
+			must(t, rt.Get(gmrs[3][1], check, sz))
+			cb, err := rt.LocalBytes(check, sz)
+			must(t, err)
+			for i := range cb {
+				if cb[i] != byte(i%253) {
+					t.Fatalf("byte %d: got %d want %d", i, cb[i], byte(i%253))
+				}
+			}
+		}
+		rt.Barrier()
+		for _, i := range []int{1, 3, 5, 7} {
+			must(t, rt.Free(gmrs[i][rt.Rank()]))
+		}
+	})
+}
+
+// TestPendingCompaction drives addPending across enough drop/add cycles
+// that compactPending must run, and checks insertion order survives it.
+func TestPendingCompaction(t *testing.T) {
+	opt := DefaultOptions()
+	opt.UseMPI3 = true
+	run(t, 2, opt, func(rt *Runtime) {
+		const nwin = 6
+		const sz = 64
+		var gmrs [nwin][]armci.Addr
+		for i := 0; i < nwin; i++ {
+			addrs, err := rt.Malloc(sz)
+			must(t, err)
+			gmrs[i] = addrs
+		}
+		local := rt.MallocLocal(sz)
+
+		if rt.Rank() == 0 {
+			for round := 0; round < 6; round++ {
+				for i := 0; i < nwin; i++ {
+					h, err := rt.NbPut(local, gmrs[i][1], sz)
+					must(t, err)
+					h.Wait()
+				}
+				checkPendingInvariants(t, rt)
+				// Fence drains every window, tombstoning all slots; the
+				// next round's addPending must compact rather than let
+				// pendingOrder grow by nwin per round.
+				rt.Fence(1)
+				checkPendingInvariants(t, rt)
+				if len(rt.pendingOrder) > 2*nwin {
+					t.Fatalf("round %d: pendingOrder grew to %d (compaction not firing)",
+						round, len(rt.pendingOrder))
+				}
+			}
+		}
+		rt.Barrier()
+		for i := 0; i < nwin; i++ {
+			must(t, rt.Free(gmrs[i][rt.Rank()]))
+		}
+	})
+}

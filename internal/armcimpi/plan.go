@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/armci"
-	"repro/internal/conflicttree"
 	"repro/internal/mpi"
 )
 
@@ -132,8 +131,8 @@ func (r *Runtime) compileStrided(class opClass, scale float64, s *armci.Strided,
 	return &plan{
 		class: class, scale: scale, kind: planSingle, g: g, gr: gr,
 		local: localAddr, span: localSpan,
-		ltype: stridedType(localStride, s.Count),
-		rtype: stridedType(remoteStride, s.Count),
+		ltype: r.stridedTypeCached(localStride, s.Count),
+		rtype: r.stridedTypeCached(remoteStride, s.Count),
 		disp:  disp,
 	}, nil
 }
@@ -173,7 +172,8 @@ func (r *Runtime) compileIOV(class opClass, scale float64, iov []armci.GIOV, pro
 func (r *Runtime) compileAuto(class opClass, scale float64, segs []iovSeg) (*plan, error) {
 	r.W.AutoScans++
 	safe := true
-	var tree conflicttree.Tree
+	tree := &r.scan
+	tree.Reset()
 	var g0 *GMR
 	for _, sg := range segs {
 		g, _, _, ok := r.W.find(sg.remote)
@@ -235,7 +235,8 @@ func (r *Runtime) compileBatched(class opClass, scale float64, segs []iovSeg) (*
 		// Gets land in local destinations: aliased destinations within
 		// one epoch would be written in arbitrary order, so serialize
 		// them through the per-segment plan.
-		var tree conflicttree.Tree
+		tree := &r.scan
+		tree.Reset()
 		for _, sg := range segs {
 			if !tree.Insert(sg.local.VA, sg.local.VA+int64(sg.n)) {
 				return r.compileConservative(class, scale, segs), nil

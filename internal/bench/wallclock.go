@@ -1,0 +1,218 @@
+package bench
+
+// The wall-clock suite measures the simulator's HOST cost, not the
+// simulated machine: operation issue rates (complete armci op →
+// GMR translation → datatype → epoch → sim event round trips per host
+// second), derived-datatype pack/unpack throughput, and raw scheduler
+// event dispatch rates at large rank counts. Virtual-time results are
+// covered by the deterministic figures; this suite is the perf
+// trajectory for the harness itself, bounding how far rank counts and
+// message sizes can scale in real time.
+//
+// Numbers are host-machine dependent and NOT byte-deterministic; the
+// exported results/BENCH_wallclock.json is a trajectory seed, not a
+// guarded regression artifact.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// WallclockContigIssue runs a two-rank ARMCI-MPI job in which rank 0
+// issues nops blocking contiguous puts of the given size to rank 1,
+// returning the issuing body's host duration.
+func WallclockContigIssue(plat *platform.Platform, nops, bytes int) (time.Duration, error) {
+	return issueJob(plat, nops, func(rt armci.Runtime, addrs []armci.Addr, local armci.Addr) error {
+		return rt.Put(local, addrs[1], bytes)
+	}, bytes)
+}
+
+// WallclockStridedIssue issues nops strided puts of nsegs segments of
+// segBytes each (2-D descriptor, contiguous locally, strided remotely).
+func WallclockStridedIssue(plat *platform.Platform, nops, nsegs, segBytes int) (time.Duration, error) {
+	span := 2 * nsegs * segBytes
+	return issueJob(plat, nops, func(rt armci.Runtime, addrs []armci.Addr, local armci.Addr) error {
+		s := &armci.Strided{
+			Src:       local,
+			Dst:       addrs[1],
+			SrcStride: []int{segBytes},
+			DstStride: []int{2 * segBytes},
+			Count:     []int{segBytes, nsegs},
+		}
+		return rt.PutS(s)
+	}, span)
+}
+
+// WallclockIOVIssue issues nops generalized I/O vector puts of nsegs
+// segments of segBytes each.
+func WallclockIOVIssue(plat *platform.Platform, nops, nsegs, segBytes int) (time.Duration, error) {
+	span := 2 * nsegs * segBytes
+	return issueJob(plat, nops, func(rt armci.Runtime, addrs []armci.Addr, local armci.Addr) error {
+		g := armci.GIOV{Bytes: segBytes}
+		for i := 0; i < nsegs; i++ {
+			g.Src = append(g.Src, armci.Addr{Rank: local.Rank, VA: local.VA + int64(i*segBytes)})
+			g.Dst = append(g.Dst, armci.Addr{Rank: addrs[1].Rank, VA: addrs[1].VA + int64(2*i*segBytes)})
+		}
+		return rt.PutV([]armci.GIOV{g}, addrs[1].Rank)
+	}, span)
+}
+
+// issueJob is the shared two-rank issue-rate skeleton: allocate a GMR
+// and a local buffer, have rank 0 issue op nops times (timing only the
+// issue loop), then free collectively. The shm fast path is disabled
+// so the full RMA epoch path — the expensive one — is what is measured.
+func issueJob(plat *platform.Platform, nops int, op func(rt armci.Runtime, addrs []armci.Addr, local armci.Addr) error, span int) (time.Duration, error) {
+	var dur time.Duration
+	opt := armcimpi.DefaultOptions()
+	opt.NoShm = true
+	_, err := harness.Run(plat, 2, harness.ImplARMCIMPI, opt, func(rt armci.Runtime) {
+		addrs, err := rt.Malloc(span)
+		if err != nil {
+			panic(err)
+		}
+		local := rt.MallocLocal(span)
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			t0 := time.Now()
+			for i := 0; i < nops; i++ {
+				if err := op(rt, addrs, local); err != nil {
+					panic(err)
+				}
+			}
+			dur = time.Since(t0)
+		}
+		rt.Barrier()
+		if err := rt.FreeLocal(local); err != nil {
+			panic(err)
+		}
+		if err := rt.Free(addrs[rt.Rank()]); err != nil {
+			panic(err)
+		}
+	})
+	return dur, err
+}
+
+// WallclockEvents runs a pure scheduler workload: nranks ranks each
+// advancing virtual time steps times with co-prime durations so wake
+// events interleave. It returns the number of dispatched events and
+// the host duration of the whole run.
+func WallclockEvents(nranks, steps int) (int64, time.Duration, error) {
+	e := sim.NewEngine()
+	t0 := time.Now()
+	err := e.Run(nranks, func(p *sim.Proc) {
+		d := sim.Time(1 + p.ID()%13)
+		for i := 0; i < steps; i++ {
+			p.Elapse(d)
+		}
+	})
+	return e.Stats().Events, time.Since(t0), err
+}
+
+// WallclockPackType builds the datatype exercised by the pack
+// benchmarks: a 2-D subarray of nsegs rows of segBytes bytes inside a
+// parent array twice as wide, the shape the direct strided method
+// produces.
+func WallclockPackType(nsegs, segBytes int) mpi.Datatype {
+	return mpi.TypeSubarray(
+		[]int{nsegs, 2 * segBytes},
+		[]int{nsegs, segBytes},
+		[]int{0, segBytes / 2},
+		1,
+	)
+}
+
+// WallclockPackRoundtrip runs iters pack+unpack round trips of t
+// through the RMA layer's kernels and returns the host duration. The
+// caller supplies the buffers so allocation is excluded.
+func WallclockPackRoundtrip(t mpi.Datatype, src, dense []byte, iters int) time.Duration {
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		mpi.PackInto(dense, t, src)
+		mpi.Unpack(t, src, dense)
+	}
+	return time.Since(t0)
+}
+
+// WallclockConfig sizes the reduced sweep behind the exported figure.
+type WallclockConfig struct {
+	Ops        int // operations per issue-rate point
+	PackIters  int // round trips per pack point
+	EventSteps int // elapse steps per rank per events point
+}
+
+// DefaultWallclock returns a configuration that completes in a few
+// host seconds on commodity hardware.
+func DefaultWallclock() WallclockConfig {
+	return WallclockConfig{Ops: 400, PackIters: 4000, EventSteps: 400}
+}
+
+// QuickWallclock returns a smoke-test configuration (used by CI under
+// the race detector) that touches every measured path in well under a
+// second.
+func QuickWallclock() WallclockConfig {
+	return WallclockConfig{Ops: 10, PackIters: 10, EventSteps: 10}
+}
+
+// Wallclock runs the reduced wall-clock sweep and returns it as a
+// figure: issue rates in ops/s over payload or segment count, pack
+// throughput in MB/s over segment count, and scheduler event rates in
+// events/s over rank count.
+func Wallclock(cfg WallclockConfig) (*Figure, error) {
+	plat := harness.TestPlatform()
+	fig := &Figure{
+		Name:   "wallclock",
+		Title:  "harness wall-clock cost (host time, machine dependent)",
+		XLabel: "bytes | segments | ranks",
+		YLabel: "ops/s | MB/s | events/s",
+	}
+	for _, bytes := range []int{8, 512, 8192} {
+		d, err := WallclockContigIssue(plat, cfg.Ops, bytes)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock contig(%d): %w", bytes, err)
+		}
+		fig.Add("contig-issue (ops/s)", float64(bytes), rate(cfg.Ops, d))
+	}
+	for _, nsegs := range []int{16, 64, 256} {
+		d, err := WallclockStridedIssue(plat, cfg.Ops, nsegs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock strided(%d): %w", nsegs, err)
+		}
+		fig.Add("strided-issue (ops/s)", float64(nsegs), rate(cfg.Ops, d))
+		d, err = WallclockIOVIssue(plat, cfg.Ops, nsegs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock iov(%d): %w", nsegs, err)
+		}
+		fig.Add("iov-issue (ops/s)", float64(nsegs), rate(cfg.Ops, d))
+	}
+	for _, nsegs := range []int{32, 256} {
+		t := WallclockPackType(nsegs, 128)
+		src := make([]byte, t.Span())
+		dense := make([]byte, t.Size())
+		d := WallclockPackRoundtrip(t, src, dense, cfg.PackIters)
+		mb := float64(2*t.Size()*cfg.PackIters) / 1e6
+		fig.Add("pack-subarray (MB/s)", float64(nsegs), mb/d.Seconds())
+	}
+	for _, nranks := range []int{64, 128, 256} {
+		ev, d, err := WallclockEvents(nranks, cfg.EventSteps)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock events(%d): %w", nranks, err)
+		}
+		fig.Add("scheduler (events/s)", float64(nranks), float64(ev)/d.Seconds())
+	}
+	return fig, nil
+}
+
+// rate converts (ops, duration) to operations per host second.
+func rate(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}

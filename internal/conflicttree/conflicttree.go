@@ -11,10 +11,14 @@
 package conflicttree
 
 // Tree is a set of disjoint half-open byte ranges [lo, hi).
-// The zero value is an empty tree ready to use.
+// The zero value is an empty tree ready to use. A tree can be emptied
+// with Reset, which recycles its nodes: callers that scan many
+// descriptors (the IOV compiler) reuse one tree instead of allocating
+// a node per range per scan.
 type Tree struct {
 	root *node
 	size int
+	free []*node // nodes recycled by Reset, available to Insert
 }
 
 type node struct {
@@ -79,6 +83,35 @@ func rebalance(n *node) *node {
 // Size returns the number of stored ranges.
 func (t *Tree) Size() int { return t.size }
 
+// Reset empties the tree, recycling every node for reuse by later
+// Inserts.
+func (t *Tree) Reset() {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+		n.left, n.right = nil, nil
+		t.free = append(t.free, n)
+	}
+	rec(t.root)
+	t.root = nil
+	t.size = 0
+}
+
+// alloc takes a recycled node if one is available.
+func (t *Tree) alloc(lo, hi int64) *node {
+	if k := len(t.free); k > 0 {
+		n := t.free[k-1]
+		t.free = t.free[:k-1]
+		*n = node{lo: lo, hi: hi, height: 1}
+		return n
+	}
+	return &node{lo: lo, hi: hi, height: 1}
+}
+
 // Insert attempts to add [lo, hi). It returns false — leaving the tree
 // unchanged — if the range is empty, inverted, or overlaps any stored
 // range; the check and the insertion are a single traversal.
@@ -86,7 +119,7 @@ func (t *Tree) Insert(lo, hi int64) bool {
 	if lo >= hi {
 		return false
 	}
-	root, ok := insert(t.root, lo, hi)
+	root, ok := t.insert(t.root, lo, hi)
 	if !ok {
 		return false
 	}
@@ -95,19 +128,19 @@ func (t *Tree) Insert(lo, hi int64) bool {
 	return true
 }
 
-func insert(n *node, lo, hi int64) (*node, bool) {
+func (t *Tree) insert(n *node, lo, hi int64) (*node, bool) {
 	if n == nil {
-		return &node{lo: lo, hi: hi, height: 1}, true
+		return t.alloc(lo, hi), true
 	}
 	switch {
 	case hi <= n.lo:
-		child, ok := insert(n.left, lo, hi)
+		child, ok := t.insert(n.left, lo, hi)
 		if !ok {
 			return nil, false
 		}
 		n.left = child
 	case lo >= n.hi:
-		child, ok := insert(n.right, lo, hi)
+		child, ok := t.insert(n.right, lo, hi)
 		if !ok {
 			return nil, false
 		}

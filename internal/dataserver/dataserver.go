@@ -209,8 +209,10 @@ func (r *Runtime) putSegs(segs []seg, target int, accumulate bool, scale float64
 	if accumulate {
 		name = "acc"
 	}
-	o.SpanLane(obs.LaneServer(node), "ds", name, start, done,
-		obs.A("origin", r.Rank()), obs.A("bytes", total))
+	if o.Tracing() {
+		o.SpanLane(obs.LaneServer(node), "ds", name, start, done,
+			obs.A("origin", r.Rank()), obs.A("bytes", total))
+	}
 	segsCopy := segs
 	m.Eng.At(done, func() {
 		for i, sg := range segsCopy {
@@ -258,8 +260,10 @@ func (r *Runtime) getSegs(segs []seg, target int) error {
 	o := r.w.Obs
 	o.Inc(r.Rank(), obs.CDsRequests)
 	o.AddTime(r.Rank(), obs.TDsWait, start-req)
-	o.SpanLane(obs.LaneServer(node), "ds", "get", start, served,
-		obs.A("origin", r.Rank()), obs.A("bytes", total))
+	if o.Tracing() {
+		o.SpanLane(obs.LaneServer(node), "ds", "get", start, served,
+			obs.A("origin", r.Rank()), obs.A("bytes", total))
+	}
 	done := false
 	p := r.p
 	eng := m.Eng

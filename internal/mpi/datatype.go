@@ -23,7 +23,8 @@ type Datatype interface {
 	NumSegs() int
 	// Segments calls fn for every contiguous run as (offset, length)
 	// relative to the base address, in ascending offset order for
-	// well-formed types.
+	// well-formed types. Hot paths should prefer ranging over
+	// Flatten(t).Segs, which enumerates at most once per type.
 	Segments(fn func(off, n int))
 	// String describes the type for diagnostics.
 	String() string
@@ -61,6 +62,7 @@ func (t contigType) String() string { return fmt.Sprintf("contig(%dB)", t.n) }
 // between block starts.
 type vectorType struct {
 	count, blocklen, stride int
+	fl                      *Flat // lazily built flatten cache
 }
 
 // TypeVector returns a strided datatype: count blocks of blocklen
@@ -79,20 +81,26 @@ func TypeVector(count, blocklen, stride int) Datatype {
 	if stride == blocklen {
 		return contigType{n: count * blocklen}
 	}
-	return vectorType{count: count, blocklen: blocklen, stride: stride}
+	return &vectorType{count: count, blocklen: blocklen, stride: stride}
 }
 
-func (t vectorType) Size() int    { return t.count * t.blocklen }
-func (t vectorType) Extent() int  { return (t.count-1)*t.stride + t.blocklen }
-func (t vectorType) Span() int    { return (t.count-1)*t.stride + t.blocklen }
-func (t vectorType) Contig() bool { return false }
-func (t vectorType) NumSegs() int { return t.count }
-func (t vectorType) Segments(fn func(o, n int)) {
+func (t *vectorType) Size() int    { return t.count * t.blocklen }
+func (t *vectorType) Extent() int  { return (t.count-1)*t.stride + t.blocklen }
+func (t *vectorType) Span() int    { return (t.count-1)*t.stride + t.blocklen }
+func (t *vectorType) Contig() bool { return false }
+func (t *vectorType) NumSegs() int { return t.count }
+func (t *vectorType) Segments(fn func(o, n int)) {
 	for i := 0; i < t.count; i++ {
 		fn(i*t.stride, t.blocklen)
 	}
 }
-func (t vectorType) String() string {
+func (t *vectorType) flat() *Flat {
+	if t.fl == nil {
+		t.fl = buildFlat(t)
+	}
+	return t.fl
+}
+func (t *vectorType) String() string {
 	return fmt.Sprintf("vector(%dx%dB/%d)", t.count, t.blocklen, t.stride)
 }
 
@@ -101,7 +109,8 @@ func (t vectorType) String() string {
 type indexedType struct {
 	offs, lens []int
 	size, ext  int
-	contig     bool
+	nsegs      int
+	fl         *Flat // lazily built flatten cache
 }
 
 // TypeIndexed returns a datatype with explicit byte displacements and
@@ -113,7 +122,7 @@ func TypeIndexed(offs, lens []int) Datatype {
 	if len(offs) != len(lens) {
 		panic("mpi: TypeIndexed length mismatch")
 	}
-	t := indexedType{offs: append([]int(nil), offs...), lens: append([]int(nil), lens...)}
+	t := &indexedType{offs: append([]int(nil), offs...), lens: append([]int(nil), lens...)}
 	lo, hi := 0, 0
 	first := true
 	for i, n := range t.lens {
@@ -124,6 +133,7 @@ func TypeIndexed(offs, lens []int) Datatype {
 			continue
 		}
 		t.size += n
+		t.nsegs++
 		o := t.offs[i]
 		if first || o < lo {
 			lo = o
@@ -142,8 +152,7 @@ func TypeIndexed(offs, lens []int) Datatype {
 	// Extent is measured from the base address (offset 0), so a type
 	// whose first run starts at a positive displacement still spans it.
 	t.ext = hi
-	t.contig = t.size == t.ext && lo == 0 && contiguousRuns(t.offs, t.lens)
-	if t.contig {
+	if t.size == t.ext && lo == 0 && contiguousRuns(t.offs, t.lens) {
 		return contigType{n: t.size}
 	}
 	return t
@@ -166,36 +175,47 @@ func contiguousRuns(offs, lens []int) bool {
 	return true
 }
 
-func (t indexedType) Size() int    { return t.size }
-func (t indexedType) Extent() int  { return t.ext }
-func (t indexedType) Span() int    { return t.ext }
-func (t indexedType) Contig() bool { return false }
-func (t indexedType) NumSegs() int {
-	n := 0
-	for _, l := range t.lens {
-		if l > 0 {
-			n++
-		}
-	}
-	return n
-}
-func (t indexedType) Segments(fn func(o, n int)) {
+func (t *indexedType) Size() int    { return t.size }
+func (t *indexedType) Extent() int  { return t.ext }
+func (t *indexedType) Span() int    { return t.ext }
+func (t *indexedType) Contig() bool { return false }
+func (t *indexedType) NumSegs() int { return t.nsegs }
+func (t *indexedType) Segments(fn func(o, n int)) {
 	for i := range t.offs {
 		if t.lens[i] > 0 {
 			fn(t.offs[i], t.lens[i])
 		}
 	}
 }
-func (t indexedType) String() string {
-	return fmt.Sprintf("indexed(%d segs, %dB)", t.NumSegs(), t.size)
+func (t *indexedType) flat() *Flat {
+	if t.fl == nil {
+		t.fl = buildFlat(t)
+	}
+	return t.fl
+}
+func (t *indexedType) String() string {
+	return fmt.Sprintf("indexed(%d segs, %dB)", t.nsegs, t.size)
 }
 
 // subarrayType selects an n-dimensional subarray out of a larger array,
 // in C (row-major) order, with elem bytes per element.
+//
+// The run decomposition is computed once at construction: lead is the
+// number of leading dimensions the segment odometer iterates (trailing
+// fully selected dimensions fold into one run), runBytes the length of
+// each contiguous run, runs the run count, and span the analytic
+// last-touched-byte bound — so Span and NumSegs are O(1) instead of
+// re-enumerating every run on every call.
 type subarrayType struct {
 	sizes, subsizes, starts []int
 	elem                    int
 	size                    int
+
+	lead     int
+	runBytes int
+	runs     int
+	span     int
+	fl       *Flat // lazily built flatten cache
 }
 
 // TypeSubarray returns an MPI_Type_create_subarray-style datatype in C
@@ -221,15 +241,16 @@ func TypeSubarray(sizes, subsizes, starts []int, elem int) Datatype {
 	if nd == 0 {
 		return contigType{n: elem}
 	}
-	t := subarrayType{
+	t := &subarrayType{
 		sizes:    append([]int(nil), sizes...),
 		subsizes: append([]int(nil), subsizes...),
 		starts:   append([]int(nil), starts...),
 		elem:     elem,
 		size:     size,
 	}
+	t.precompute()
 	// Collapse to contiguous when the subarray is dense in memory.
-	if t.NumSegs() <= 1 {
+	if t.runs <= 1 {
 		off, n := t.onlySegment()
 		if off == 0 {
 			return contigType{n: n}
@@ -239,45 +260,50 @@ func TypeSubarray(sizes, subsizes, starts []int, elem int) Datatype {
 	return t
 }
 
-func (t subarrayType) Size() int { return t.size }
-
-// Span is the last touched byte + 1: the offset of the final segment
-// plus its run length.
-func (t subarrayType) Span() int {
-	span := 0
-	t.Segments(func(o, n int) {
-		if o+n > span {
-			span = o + n
-		}
-	})
-	return span
+// precompute derives the run decomposition and analytic span.
+func (t *subarrayType) precompute() {
+	nd := len(t.sizes)
+	// Fold trailing dimensions that are fully selected into the run.
+	d := nd - 1
+	runBytes := t.subsizes[nd-1] * t.elem
+	for d > 0 && t.subsizes[d] == t.sizes[d] && t.starts[d] == 0 {
+		d--
+		runBytes = t.subsizes[d] * rowStride(t.sizes, d+1) * t.elem
+	}
+	t.lead = d
+	t.runBytes = runBytes
+	t.runs = 1
+	for i := 0; i < d; i++ {
+		t.runs *= t.subsizes[i]
+	}
+	if t.size == 0 {
+		t.runs = 0
+		return
+	}
+	// The highest run starts at the last index of every leading
+	// dimension; its end is the span.
+	off := 0
+	for i := 0; i < d; i++ {
+		off += (t.starts[i] + t.subsizes[i] - 1) * rowStride(t.sizes, i+1)
+	}
+	off += t.starts[d] * rowStride(t.sizes, d+1)
+	t.span = off*t.elem + runBytes
 }
-func (t subarrayType) Extent() int {
+
+func (t *subarrayType) Size() int { return t.size }
+
+// Span is the last touched byte + 1, precomputed analytically at
+// construction.
+func (t *subarrayType) Span() int { return t.span }
+
+func (t *subarrayType) Extent() int {
 	ext := t.elem
 	for _, s := range t.sizes {
 		ext *= s
 	}
 	return ext
 }
-func (t subarrayType) Contig() bool { return false }
-
-// rowRun returns the length in bytes of one innermost contiguous run
-// and the number of such runs.
-func (t subarrayType) rowRun() (runBytes, runs int) {
-	nd := len(t.sizes)
-	runBytes = t.subsizes[nd-1] * t.elem
-	// Fold trailing dimensions that are fully selected into the run.
-	d := nd - 1
-	for d > 0 && t.subsizes[d] == t.sizes[d] && t.starts[d] == 0 {
-		d--
-		runBytes = t.subsizes[d] * rowStride(t.sizes, d+1) * t.elem
-	}
-	runs = 1
-	for i := 0; i < d; i++ {
-		runs *= t.subsizes[i]
-	}
-	return runBytes, runs
-}
+func (t *subarrayType) Contig() bool { return false }
 
 func rowStride(sizes []int, from int) int {
 	s := 1
@@ -287,15 +313,9 @@ func rowStride(sizes []int, from int) int {
 	return s
 }
 
-func (t subarrayType) NumSegs() int {
-	if t.size == 0 {
-		return 0
-	}
-	_, runs := t.rowRun()
-	return runs
-}
+func (t *subarrayType) NumSegs() int { return t.runs }
 
-func (t subarrayType) onlySegment() (off, n int) {
+func (t *subarrayType) onlySegment() (off, n int) {
 	got := false
 	t.Segments(func(o, l int) {
 		if !got {
@@ -308,18 +328,11 @@ func (t subarrayType) onlySegment() (off, n int) {
 	return off, n
 }
 
-func (t subarrayType) Segments(fn func(o, n int)) {
+func (t *subarrayType) Segments(fn func(o, n int)) {
 	if t.size == 0 {
 		return
 	}
-	nd := len(t.sizes)
-	runBytes, _ := t.rowRun()
-	// Determine how many leading dims we iterate (those not folded
-	// into the run).
-	d := nd - 1
-	for d > 0 && t.subsizes[d] == t.sizes[d] && t.starts[d] == 0 {
-		d--
-	}
+	d := t.lead
 	idx := make([]int, d)
 	for {
 		off := 0
@@ -327,7 +340,7 @@ func (t subarrayType) Segments(fn func(o, n int)) {
 			off += (t.starts[i] + idx[i]) * rowStride(t.sizes, i+1)
 		}
 		off += t.starts[d] * rowStride(t.sizes, d+1)
-		fn(off*t.elem, runBytes)
+		fn(off*t.elem, t.runBytes)
 		// Odometer increment over the leading dims.
 		i := d - 1
 		for ; i >= 0; i-- {
@@ -343,6 +356,13 @@ func (t subarrayType) Segments(fn func(o, n int)) {
 	}
 }
 
-func (t subarrayType) String() string {
+func (t *subarrayType) flat() *Flat {
+	if t.fl == nil {
+		t.fl = buildFlat(t)
+	}
+	return t.fl
+}
+
+func (t *subarrayType) String() string {
 	return fmt.Sprintf("subarray(%v of %v @%v, elem=%dB)", t.subsizes, t.sizes, t.starts, t.elem)
 }

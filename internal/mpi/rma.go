@@ -394,7 +394,9 @@ func (w *Win) Lock(lt LockType, target int) error {
 	}
 	o.Observe(r.ID(), obs.HLockWait, wait)
 	o.Inc(r.ID(), obs.CEpochs)
-	o.Span(r.ID(), "mpi", "lock("+lt.String()+")", reqAt, p.Now(), obs.A("target", targetWorld))
+	if o.Tracing() {
+		o.Span(r.ID(), "mpi", "lock("+lt.String()+")", reqAt, p.Now(), obs.A("target", targetWorld))
+	}
 	return nil
 }
 
@@ -477,8 +479,10 @@ func (w *Win) Unlock(target int) error {
 	for !done {
 		p.Park("mpi.WinUnlock")
 	}
-	r.W.Obs.Span(r.ID(), "epoch", "epoch("+ep.ltype.String()+")", ep.openedAt, p.Now(),
-		obs.A("target", targetWorld), obs.A("ops", ep.nops))
+	if o := r.W.Obs; o.Tracing() {
+		o.Span(r.ID(), "epoch", "epoch("+ep.ltype.String()+")", ep.openedAt, p.Now(),
+			obs.A("target", targetWorld), obs.A("ops", ep.nops))
+	}
 	w.cur = nil
 	return ws.err
 }
@@ -628,32 +632,23 @@ func (w *Win) pack(buf LocalBuf) []byte {
 	o := r.W.Obs
 	o.Add(r.ID(), obs.CPackBytes, int64(buf.Type.Size()))
 	o.AddTime(r.ID(), obs.TPack, r.P.Now()-t0)
-	o.Span(r.ID(), "dt", "pack", t0, r.P.Now(), obs.A("bytes", buf.Type.Size()))
-	out := make([]byte, 0, buf.Type.Size())
-	buf.Type.Segments(func(off, n int) {
-		out = append(out, src[off:off+n]...)
-	})
-	return out
+	if o.Tracing() {
+		o.Span(r.ID(), "dt", "pack", t0, r.P.Now(), obs.A("bytes", buf.Type.Size()))
+	}
+	return Pack(buf.Type, src)
 }
 
 // unpackInto scatters dense data into dst (a slice covering the
-// datatype's extent) following the datatype layout.
+// datatype's extent) following the datatype layout, through the
+// flatten-cache kernel.
 func unpackInto(dst []byte, t Datatype, data []byte) {
-	pos := 0
-	t.Segments(func(off, n int) {
-		copy(dst[off:off+n], data[pos:pos+n])
-		pos += n
-	})
+	Unpack(t, dst, data)
 }
 
 // packFrom gathers the datatype's bytes out of src (covering its
-// extent) into a dense buffer.
+// extent) into a dense buffer, through the flatten-cache kernel.
 func packFrom(src []byte, t Datatype) []byte {
-	out := make([]byte, 0, t.Size())
-	t.Segments(func(off, n int) {
-		out = append(out, src[off:off+n]...)
-	})
-	return out
+	return Pack(t, src)
 }
 
 // Put transfers the origin buffer into the target window at byte
@@ -700,7 +695,9 @@ func (w *Win) Put(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.COpsPut)
 	o.Add(r.ID(), bytesMetric(buf.Type, ttype), int64(len(data)))
-	o.Span(r.ID(), "rma", "put", t0, done, obs.A("target", targetWorld), obs.A("bytes", len(data)))
+	if o.Tracing() {
+		o.Span(r.ID(), "rma", "put", t0, done, obs.A("target", targetWorld), obs.A("bytes", len(data)))
+	}
 	return nil
 }
 
@@ -755,8 +752,10 @@ func (w *Win) shmOpObs(opMetric, span string, target, nbytes int, t0 sim.Time) {
 	o.Inc(r.ID(), opMetric)
 	o.Add(r.ID(), obs.CBytesShm, int64(nbytes))
 	o.Inc(r.ID(), obs.CShmCopies)
-	o.Span(r.ID(), "rma", span, t0, r.P.Now(),
-		obs.A("target", w.state.group[target]), obs.A("bytes", nbytes))
+	if o.Tracing() {
+		o.Span(r.ID(), "rma", span, t0, r.P.Now(),
+			obs.A("target", w.state.group[target]), obs.A("bytes", nbytes))
+	}
 }
 
 // Get transfers from the target window into the origin buffer.
@@ -798,7 +797,9 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 		// The true return time is known only here (it depends on NIC
 		// occupancy at the target), so the span is recorded from inside
 		// the event.
-		r.W.Obs.Span(origin, "rma", "get", t0, back, obs.A("target", targetWorld), obs.A("bytes", nbytes))
+		if o := r.W.Obs; o.Tracing() {
+			o.Span(origin, "rma", "get", t0, back, obs.A("target", targetWorld), obs.A("bytes", nbytes))
+		}
 		m.Eng.At(back, func() {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -896,10 +897,12 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.COpsAcc)
 	o.Add(r.ID(), bytesMetric(buf.Type, ttype), int64(len(data)))
-	o.Span(r.ID(), "rma", "acc("+op.String()+")", t0, applyDone,
-		obs.A("target", targetWorld), obs.A("bytes", len(data)))
-	o.SpanLane(obs.LaneServer(m.NodeOf(targetWorld)), "agent", "apply("+op.String()+")",
-		start, applyDone, obs.A("origin", r.ID()), obs.A("bytes", len(data)))
+	if o.Tracing() {
+		o.Span(r.ID(), "rma", "acc("+op.String()+")", t0, applyDone,
+			obs.A("target", targetWorld), obs.A("bytes", len(data)))
+		o.SpanLane(obs.LaneServer(m.NodeOf(targetWorld)), "agent", "apply("+op.String()+")",
+			start, applyDone, obs.A("origin", r.ID()), obs.A("bytes", len(data)))
+	}
 	return nil
 }
 

@@ -81,7 +81,9 @@ func (w *Win) Flush(target int) error {
 	}
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.CEpochFlush)
-	o.Span(r.ID(), "epoch", "flush", t0, r.P.Now(), obs.A("target", w.state.group[target]))
+	if o.Tracing() {
+		o.Span(r.ID(), "epoch", "flush", t0, r.P.Now(), obs.A("target", w.state.group[target]))
+	}
 	return w.state.err
 }
 
@@ -310,7 +312,9 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 		}
 		o := r.W.Obs
 		o.Inc(r.ID(), obs.COpsAmo)
-		o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+").shm", t0, p.Now(), obs.A("target", targetWorld))
+		if o.Tracing() {
+			o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+").shm", t0, p.Now(), obs.A("target", targetWorld))
+		}
 		return old, ws.err
 	}
 	done := false
@@ -353,7 +357,9 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 	}
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.COpsAmo)
-	o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+")", t0, p.Now(), obs.A("target", targetWorld))
+	if o.Tracing() {
+		o.Span(r.ID(), "rma", "fetch_and_op("+op.String()+")", t0, p.Now(), obs.A("target", targetWorld))
+	}
 	return old, ws.err
 }
 
@@ -405,7 +411,9 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 		}
 		o := r.W.Obs
 		o.Inc(r.ID(), obs.COpsAmo)
-		o.Span(r.ID(), "rma", "compare_and_swap.shm", t0, p.Now(), obs.A("target", targetWorld))
+		if o.Tracing() {
+			o.Span(r.ID(), "rma", "compare_and_swap.shm", t0, p.Now(), obs.A("target", targetWorld))
+		}
 		return old, ws.err
 	}
 	done := false
@@ -445,6 +453,8 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 	}
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.COpsAmo)
-	o.Span(r.ID(), "rma", "compare_and_swap", t0, p.Now(), obs.A("target", targetWorld))
+	if o.Tracing() {
+		o.Span(r.ID(), "rma", "compare_and_swap", t0, p.Now(), obs.A("target", targetWorld))
+	}
 	return old, ws.err
 }

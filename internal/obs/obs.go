@@ -38,6 +38,26 @@ type Recorder struct {
 	// Park accounting (sim.Observer): start time and reason per rank.
 	parkAt  []sim.Time
 	parkWhy []string
+
+	// parkNames interns the metric and span names derived from park
+	// reasons ("sched.park:<why>" / "park:<why>"), so the hot
+	// RankResumed path does not re-concatenate strings on every park.
+	// Park reasons form a small fixed vocabulary, so the map stays tiny.
+	parkNames map[string]parkName
+}
+
+type parkName struct{ metric, span string }
+
+func (r *Recorder) parkName(why string) parkName {
+	if n, ok := r.parkNames[why]; ok {
+		return n
+	}
+	if r.parkNames == nil {
+		r.parkNames = make(map[string]parkName)
+	}
+	n := parkName{metric: "sched.park:" + why, span: "park:" + why}
+	r.parkNames[why] = n
+	return n
 }
 
 // Options configures a Recorder.
@@ -206,8 +226,9 @@ func (r *Recorder) RankResumed(rank int, at sim.Time) {
 		return
 	}
 	r.parkWhy[rank] = ""
-	r.m.AddTime(rank, "sched.park:"+why, at-r.parkAt[rank])
+	n := r.parkName(why)
+	r.m.AddTime(rank, n.metric, at-r.parkAt[rank])
 	if r.tr != nil {
-		r.tr.span(r.pid, rank, "sched", "park:"+why, r.parkAt[rank], at, nil)
+		r.tr.span(r.pid, rank, "sched", n.span, r.parkAt[rank], at, nil)
 	}
 }

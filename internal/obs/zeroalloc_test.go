@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type fixedClock sim.Time
+
+func (c fixedClock) Now() sim.Time { return sim.Time(c) }
+
+// TestDisabledRecorderAllocatesNothing pins the disabled-observability
+// cost to zero heap allocations: every facade method on a nil Recorder
+// must return before building anything. Hot paths call these guards on
+// every operation, so a single alloc here would dominate wall-clock
+// profiles.
+func TestDisabledRecorderAllocatesNothing(t *testing.T) {
+	var r *Recorder // disabled: nil recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Inc(0, "c")
+		r.Add(0, "c", 3)
+		r.AddTime(0, "t", 5)
+		r.Observe(0, "h", 7)
+		r.MaxGauge(0, "g", 9)
+		r.LinkBusy(0, 11)
+		r.Span(0, "cat", "name", 0, 1)
+		r.SpanLane(1, "cat", "name", 0, 1)
+		r.Instant(0, "cat", "name", 2)
+		r.RankParked(0, "recv", 0)
+		r.RankResumed(0, 1)
+		_ = r.Enabled()
+		_ = r.Tracing()
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestElapseParkAllocatesNothing pins the live recorder's handling of
+// the scheduler's synthetic "elapse" parks (which it must ignore) to
+// zero allocations: the sim engine reports one such pair per Elapse,
+// so this path runs millions of times per benchmark.
+func TestElapseParkAllocatesNothing(t *testing.T) {
+	r := New(Options{})
+	r.BeginJob("job", fixedClock(0), 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RankParked(1, "elapse", 10)
+		r.RankResumed(1, 20)
+	})
+	if allocs != 0 {
+		t.Errorf("elapse park/resume allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestParkNameInterning checks that repeated parks on the same reason
+// reuse the interned metric/span names instead of re-concatenating.
+func TestParkNameInterning(t *testing.T) {
+	r := New(Options{})
+	r.BeginJob("job", fixedClock(0), 2)
+	// Warm the intern table.
+	r.RankParked(0, "recv", 0)
+	r.RankResumed(0, 5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RankParked(0, "recv", 10)
+		r.RankResumed(0, 20)
+	})
+	// AddTime on an existing counter and an interned name must not
+	// allocate.
+	if allocs != 0 {
+		t.Errorf("interned park/resume allocated %.1f per run, want 0", allocs)
+	}
+	if got := r.parkName("recv").metric; got != "sched.park:recv" {
+		t.Errorf("interned metric = %q, want sched.park:recv", got)
+	}
+	if got := r.parkName("recv").span; got != "park:recv" {
+		t.Errorf("interned span = %q, want park:recv", got)
+	}
+}
+
+// BenchmarkParkResume measures the live park-accounting path with
+// metrics only (the common -stats configuration).
+func BenchmarkParkResume(b *testing.B) {
+	r := New(Options{})
+	r.BeginJob("bench", fixedClock(0), 8)
+	r.RankParked(0, "recv", 0) // warm the intern table and counter
+	r.RankResumed(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RankParked(0, "recv", sim.Time(i))
+		r.RankResumed(0, sim.Time(i+1))
+	}
+}

@@ -9,10 +9,20 @@
 // Elapse (charge local virtual time), Park/Unpark (block a rank until a
 // condition is signalled), and At (schedule a handler at a future virtual
 // time). Handlers run in the scheduler goroutine and must not block.
+//
+// The engine's own wall-clock cost is kept off the simulated results'
+// critical path by three mechanisms: events are value-typed in the heap
+// slice (the popped slots double as a free list, so scheduling allocates
+// nothing once the heap has grown), pure time-advance wakeups carry the
+// parked Proc instead of a closure, and Elapse takes an inline fast path
+// that advances the clock without the park/unpark channel ping-pong
+// whenever no earlier event or runnable rank could interleave. The fast
+// path consumes the same sequence number and counts the same Parks and
+// Events as the slow path, so engine counters and every downstream
+// virtual-time result are byte-identical whichever path runs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -63,30 +73,67 @@ func (t Time) String() string {
 	}
 }
 
+// event is one scheduled occurrence. Pure wakeups (Elapse) carry the
+// parked proc in wake and no closure; handler events carry fn.
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	wake *Proc
+	fn   func()
 }
 
-type eventHeap []*event
+// eventHeap is a value-typed binary min-heap ordered by (at, seq).
+// Events live inline in the slice: pushes reuse the capacity freed by
+// pops, so steady-state scheduling performs no allocation.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the vacated slot so fn/wake are collectable
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
 }
 
 type procState int
@@ -121,7 +168,8 @@ func (p *Proc) Now() Time { return p.e.now }
 // observability layers access to the virtual clock at the moments
 // ranks block and resume. Callbacks run under the cooperative
 // scheduler (never concurrently) and must not block or re-enter the
-// engine.
+// engine. Elapse's inline fast path still reports its virtual
+// park/resume pair, so observers see the same sequence either way.
 type Observer interface {
 	// RankParked fires when a rank blocks; why is the park reason.
 	RankParked(rank int, why string, at Time)
@@ -132,16 +180,27 @@ type Observer interface {
 // Engine runs a fixed set of rank goroutines to completion under a
 // virtual clock.
 type Engine struct {
-	now       Time
-	seq       int64
-	events    eventHeap
-	procs     []*Proc
-	runnable  []*Proc // FIFO of procs ready to run
+	now    Time
+	seq    int64
+	events eventHeap
+	procs  []*Proc
+
+	// Runnable ring buffer (FIFO). A proc appears at most once, so a
+	// fixed capacity of len(procs) suffices and pushes never allocate.
+	runq   []*Proc
+	rqHead int
+	rqLen  int
+
 	alive     int
 	schedWake chan struct{}
 	failure   error // first panic captured from a rank body
 	stats     Stats
 	obs       Observer
+
+	// noInlineElapse disables Elapse's inline fast path; used by the
+	// scheduler-equivalence test to prove both paths produce identical
+	// schedules.
+	noInlineElapse bool
 
 	// MaxTime, when nonzero, aborts Run with ErrTimeLimit once the
 	// virtual clock passes it — a watchdog against virtual livelock
@@ -158,6 +217,8 @@ func (e *ErrTimeLimit) Error() string {
 }
 
 // Stats aggregates engine-level counters, useful in tests and benchmarks.
+// Both Elapse paths maintain them identically: an inline time advance
+// still counts one park and one dispatched event.
 type Stats struct {
 	Events    int64 // events dispatched
 	Parks     int64 // times any rank parked
@@ -188,21 +249,101 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// atWake schedules an unpark of p at absolute time t without building
+// a closure.
+func (e *Engine) atWake(t Time, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, wake: p})
+}
+
 // Elapse charges d nanoseconds of virtual time to the calling rank:
 // the rank blocks and resumes once the clock has advanced by d.
+//
+// When no other rank is runnable, Elapse runs inline instead of
+// parking: it reserves the wake event's sequence number, dispatches any
+// events due before the wake exactly as the scheduler loop would (same
+// order, same clock updates, same counters), and advances the clock
+// itself — eliminating the park/unpark channel ping-pong. If a
+// dispatched event makes another rank runnable, that rank must run
+// before this one resumes, so Elapse falls back to a real park whose
+// wake event carries the reserved sequence number; every tie-break
+// then resolves exactly as the parked path would. Which goroutine
+// executes an event handler is invisible to the simulation, so the
+// two paths are indistinguishable in every virtual-time observable.
 func (p *Proc) Elapse(d Time) {
 	if d <= 0 {
 		return
 	}
 	e := p.e
-	e.At(e.now+d, func() { e.Unpark(p) })
-	p.Park("elapse")
+	due := e.now + d
+	if e.noInlineElapse || e.rqLen > 0 || (e.MaxTime > 0 && due > e.MaxTime) {
+		e.atWake(due, p)
+		p.Park("elapse")
+		return
+	}
+	// Reserve the wake event's sequence number before dispatching:
+	// events run below may schedule new events, and a tie at due must
+	// resolve in favor of this wake exactly as the parked path would.
+	e.seq++
+	wakeSeq := e.seq
+	e.stats.Parks++
+	if e.obs != nil {
+		e.obs.RankParked(p.id, "elapse", e.now)
+	}
+	for {
+		if len(e.events) == 0 || e.events[0].at > due ||
+			(e.events[0].at == due && e.events[0].seq > wakeSeq) {
+			// The wake event would be dispatched next: count it and
+			// advance inline.
+			e.stats.Events++
+			e.now = due
+			if e.obs != nil {
+				e.obs.RankResumed(p.id, e.now)
+			}
+			return
+		}
+		// Dispatch the earlier event exactly as the scheduler loop would.
+		ev := e.events.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.stats.Events++
+		if ev.wake != nil {
+			e.Unpark(ev.wake)
+		} else {
+			ev.fn()
+		}
+		if e.rqLen > 0 {
+			e.events.push(event{at: due, seq: wakeSeq, wake: p})
+			p.parkReserved("elapse")
+			return
+		}
+	}
+}
+
+// parkReserved parks like Park but without re-counting the park or
+// re-notifying the observer: Elapse's inline path has already done
+// both.
+func (p *Proc) parkReserved(why string) {
+	e := p.e
+	p.state = stateParked
+	p.why = why
+	e.schedWake <- struct{}{}
+	<-p.wake
+	p.state = stateRunning
+	p.why = ""
+	if e.obs != nil {
+		e.obs.RankResumed(p.id, e.now)
+	}
 }
 
 // Park blocks the calling rank until another component calls Unpark on
@@ -234,7 +375,7 @@ func (e *Engine) Unpark(p *Proc) {
 	switch p.state {
 	case stateParked:
 		p.state = stateRunnable
-		e.runnable = append(e.runnable, p)
+		e.pushRunnable(p)
 	case stateRunnable:
 		// Already queued; nothing to do.
 	case stateDone:
@@ -242,6 +383,26 @@ func (e *Engine) Unpark(p *Proc) {
 	default:
 		panic(fmt.Sprintf("sim: unpark of running rank %d", p.id))
 	}
+}
+
+func (e *Engine) pushRunnable(p *Proc) {
+	i := e.rqHead + e.rqLen
+	if i >= len(e.runq) {
+		i -= len(e.runq)
+	}
+	e.runq[i] = p
+	e.rqLen++
+}
+
+func (e *Engine) popRunnable() *Proc {
+	p := e.runq[e.rqHead]
+	e.runq[e.rqHead] = nil
+	e.rqHead++
+	if e.rqHead == len(e.runq) {
+		e.rqHead = 0
+	}
+	e.rqLen--
+	return p
 }
 
 // Deadlock is returned (wrapped) by Run when every rank is parked and no
@@ -282,11 +443,12 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 		return fmt.Errorf("sim: Run needs n > 0, got %d", n)
 	}
 	e.procs = make([]*Proc, n)
+	e.runq = make([]*Proc, n)
 	e.alive = n
 	for i := 0; i < n; i++ {
 		p := &Proc{id: i, e: e, state: stateRunnable, wake: make(chan struct{})}
 		e.procs[i] = p
-		e.runnable = append(e.runnable, p)
+		e.pushRunnable(p)
 	}
 	for _, p := range e.procs {
 		p := p
@@ -313,10 +475,8 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 			// single-use so this leaks only until test process exit.
 			return e.failure
 		}
-		if len(e.runnable) > 0 {
-			p := e.runnable[0]
-			copy(e.runnable, e.runnable[1:])
-			e.runnable = e.runnable[:len(e.runnable)-1]
+		if e.rqLen > 0 {
+			p := e.popRunnable()
 			p.wake <- struct{}{}
 			<-e.schedWake // rank parked or exited
 			continue
@@ -334,7 +494,7 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 			}
 			return d
 		}
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -342,7 +502,11 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 			return &ErrTimeLimit{At: e.now}
 		}
 		e.stats.Events++
-		ev.fn()
+		if ev.wake != nil {
+			e.Unpark(ev.wake)
+		} else {
+			ev.fn()
+		}
 	}
 }
 

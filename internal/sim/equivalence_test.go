@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceObs records every scheduling callback with its virtual time, so
+// two runs can be compared event-for-event.
+type traceObs struct {
+	log []string
+}
+
+func (o *traceObs) RankParked(rank int, why string, at Time) {
+	o.log = append(o.log, fmt.Sprintf("park r%d %s @%d", rank, why, at))
+}
+
+func (o *traceObs) RankResumed(rank int, at Time) {
+	o.log = append(o.log, fmt.Sprintf("resume r%d @%d", rank, at))
+}
+
+// schedWorkload is a program that exercises every scheduling pathway
+// the engine has: inline-eligible elapses, elapses with events due
+// before the wake, events that unpark other ranks mid-elapse (forcing
+// the reserved-seq fallback), exact ties at the wake time, and explicit
+// park/unpark handshakes. Each rank appends to a shared order log, so
+// any divergence in rank interleaving shows up directly.
+func schedWorkload(e *Engine, order *[]string) func(p *Proc) {
+	procs := make([]*Proc, 4)
+	return func(p *Proc) {
+		procs[p.ID()] = p
+		mark := func(tag string) {
+			*order = append(*order, fmt.Sprintf("r%d %s @%d", p.ID(), tag, p.Now()))
+		}
+		switch p.ID() {
+		case 0:
+			// Plain elapses, plus a handler scheduled to fire strictly
+			// inside the second elapse window.
+			p.Elapse(10)
+			mark("a")
+			e.At(p.Now()+5, func() { *order = append(*order, "ev0") })
+			p.Elapse(20)
+			mark("b")
+			// Handler at exactly the wake time: the wake was scheduled
+			// first, so it must win the tie.
+			e.At(p.Now()+7, func() { *order = append(*order, "ev-tie") })
+			p.Elapse(7)
+			mark("c")
+		case 1:
+			// Handshake: park until rank 2 unparks us mid-elapse.
+			p.Elapse(3)
+			mark("wait")
+			p.Park("handshake")
+			mark("woken")
+			p.Elapse(50)
+			mark("done")
+		case 2:
+			// Unpark rank 1 from an event handler that fires while some
+			// other rank is elapsing — the inline path must fall back.
+			e.At(15, func() { e.Unpark(procs[1]) })
+			p.Elapse(40)
+			mark("d")
+		case 3:
+			// Tight loop of short elapses to interleave with everyone.
+			for i := 0; i < 8; i++ {
+				p.Elapse(6)
+			}
+			mark("loop-done")
+		}
+	}
+}
+
+func runWorkload(t *testing.T, noInline bool) (Stats, []string, []string) {
+	t.Helper()
+	e := NewEngine()
+	e.noInlineElapse = noInline
+	obs := &traceObs{}
+	e.Observe(obs)
+	var order []string
+	if err := e.Run(4, schedWorkload(e, &order)); err != nil {
+		t.Fatalf("noInline=%v: %v", noInline, err)
+	}
+	return e.Stats(), order, obs.log
+}
+
+// TestInlineElapseEquivalence proves the inline Elapse fast path
+// produces a schedule byte-identical to the plain park/unpark path:
+// same rank interleaving, same virtual timestamps, same engine
+// counters, and the same observer callback sequence.
+func TestInlineElapseEquivalence(t *testing.T) {
+	slowStats, slowOrder, slowObs := runWorkload(t, true)
+	fastStats, fastOrder, fastObs := runWorkload(t, false)
+
+	if slowStats != fastStats {
+		t.Errorf("stats diverge: slow=%+v fast=%+v", slowStats, fastStats)
+	}
+	if len(slowOrder) != len(fastOrder) {
+		t.Fatalf("order length: slow=%d fast=%d\nslow=%v\nfast=%v",
+			len(slowOrder), len(fastOrder), slowOrder, fastOrder)
+	}
+	for i := range slowOrder {
+		if slowOrder[i] != fastOrder[i] {
+			t.Errorf("order[%d]: slow=%q fast=%q", i, slowOrder[i], fastOrder[i])
+		}
+	}
+	if len(slowObs) != len(fastObs) {
+		t.Fatalf("observer length: slow=%d fast=%d\nslow=%v\nfast=%v",
+			len(slowObs), len(fastObs), slowObs, fastObs)
+	}
+	for i := range slowObs {
+		if slowObs[i] != fastObs[i] {
+			t.Errorf("observer[%d]: slow=%q fast=%q", i, slowObs[i], fastObs[i])
+		}
+	}
+}
+
+// TestInlineElapseEquivalenceManyRanks stresses the tie-break machinery
+// with ranks whose elapse durations repeatedly collide at common
+// multiples.
+func TestInlineElapseEquivalenceManyRanks(t *testing.T) {
+	run := func(noInline bool) (Stats, []string) {
+		e := NewEngine()
+		e.noInlineElapse = noInline
+		var order []string
+		err := e.Run(6, func(p *Proc) {
+			for i := 0; i < 12; i++ {
+				p.Elapse(Time(2 * (p.ID()%3 + 1)))
+				order = append(order, fmt.Sprintf("r%d@%d", p.ID(), p.Now()))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats(), order
+	}
+	slowStats, slowOrder := run(true)
+	fastStats, fastOrder := run(false)
+	if slowStats != fastStats {
+		t.Errorf("stats diverge: slow=%+v fast=%+v", slowStats, fastStats)
+	}
+	if len(slowOrder) != len(fastOrder) {
+		t.Fatalf("order length: slow=%d fast=%d", len(slowOrder), len(fastOrder))
+	}
+	for i := range slowOrder {
+		if slowOrder[i] != fastOrder[i] {
+			t.Fatalf("order[%d]: slow=%q fast=%q", i, slowOrder[i], fastOrder[i])
+		}
+	}
+}
+
+// BenchmarkElapseSoloRank measures the inline fast path: one rank
+// sleeping repeatedly with no competing events. The slow-path variant
+// pays the park/unpark channel round-trip on every call.
+func BenchmarkElapseSoloRank(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		noInline bool
+	}{{"inline", false}, {"parked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			e := NewEngine()
+			e.noInlineElapse = mode.noInline
+			if err := e.Run(1, func(p *Proc) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Elapse(1)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkElapseTwoRanks measures the contended path: two ranks whose
+// sleeps interleave, so every elapse wakes through the scheduler.
+func BenchmarkElapseTwoRanks(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	if err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			p.Elapse(1)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
