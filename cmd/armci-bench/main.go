@@ -13,8 +13,10 @@
 //	armci-bench -fig table2
 //	armci-bench -fig wallclock
 //
-// With no -platform, figure sweeps run on all four platforms. Output is
-// gnuplot-style columns on stdout.
+// With no -platform, figure sweeps run on all four platforms. A
+// combined -fig figN-plat spelling (e.g. -fig fig3-ib) selects one
+// figure on one platform, matching the BENCH_<name>.json artifact
+// names. Output is gnuplot-style columns on stdout.
 //
 // The wallclock figure measures the simulator harness's own host-time
 // cost (issue rates, pack throughput, scheduler event rates). Unlike
@@ -35,6 +37,11 @@
 //	               contiguous vs packed, epoch flushes, ...) after the runs
 //	-trace f.json  write a Chrome trace_event file viewable in
 //	               chrome://tracing or https://ui.perfetto.dev
+//	-profile       attribute each operation's virtual time to phases
+//	               (lock wait, pack, shm copy, wire, target processing)
+//	               and print an mpiP-style report: top operations, phase
+//	               percentages, hottest rank pairs, link utilization.
+//	               With -json dir, also writes dir/PROF_<fig>.json
 //	-json dir      also write each figure as dir/BENCH_<name>.json
 //
 // All output is in deterministic virtual time: repeat runs of the same
@@ -45,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/armcimpi"
 	"repro/internal/bench"
@@ -59,6 +68,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	stats := flag.Bool("stats", false, "print per-rank observability metrics after the figure sweeps")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the figure sweeps")
+	profile := flag.Bool("profile", false, "attribute per-operation virtual time to phases and print an mpiP-style report")
 	jsonDir := flag.String("json", "", "also write each figure as BENCH_<name>.json into this directory")
 	batch := flag.Int("batch", -1, "batched-method operations per epoch (0 = unlimited; -1 = default)")
 	stridedMethod := flag.String("strided-method", "", "strided transfer method (conservative, batched, iov-direct, direct, auto)")
@@ -69,7 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
-	if err := run(*fig, *plat, *op, *quick, *stats, *trace, *jsonDir); err != nil {
+	if err := run(*fig, *plat, *op, *quick, *stats, *profile, *trace, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
@@ -119,15 +129,27 @@ func platforms(name string) ([]*platform.Platform, error) {
 	return []*platform.Platform{p}, nil
 }
 
-func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir string) error {
+func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, jsonDir string) error {
+	// Accept the combined figN-plat spelling used by the guarded
+	// artifact names: -fig fig3-ib == -fig 3 -platform ib.
+	profName := fig
+	if rest, ok := strings.CutPrefix(fig, "fig"); ok {
+		if i := strings.IndexByte(rest, '-'); i > 0 {
+			figPlat := rest[i+1:]
+			if plat != "" && plat != figPlat {
+				return fmt.Errorf("-fig %s conflicts with -platform %s", fig, plat)
+			}
+			fig, plat = rest[:i], figPlat
+		}
+	}
 	switch fig {
 	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablations", "table2", "wallclock", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
 	var rec *obs.Recorder
-	if stats || traceFile != "" {
-		rec = obs.New(obs.Options{Trace: traceFile != ""})
+	if stats || profile || traceFile != "" {
+		rec = obs.New(obs.Options{Trace: traceFile != "", Profile: profile})
 	}
 	if err := runFigures(fig, plat, opFilter, quick, rec, jsonDir); err != nil {
 		return err
@@ -147,6 +169,27 @@ func run(fig, plat, opFilter string, quick, stats bool, traceFile, jsonDir strin
 	}
 	if stats {
 		rec.WriteStats(os.Stdout)
+	}
+	if profile {
+		pr := rec.Prof()
+		if err := pr.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "PROF_"+profName+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := pr.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "armci-bench: wrote", path)
+		}
 	}
 	return nil
 }

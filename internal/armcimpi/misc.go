@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/armci"
 	"repro/internal/mpi"
+	"repro/internal/obs/profile"
 )
 
 // AccessBegin initiates direct load/store access to local data within
@@ -82,6 +83,10 @@ func (r *Runtime) SetAccessMode(mode armci.AccessMode, addr armci.Addr) error {
 // (SectionV.D). With UseMPI3, a single fetch-and-op inside one epoch
 // is used instead (SectionVIII.B's extension).
 func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, error) {
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpRmw)
+		defer pr.End(r.Rank())
+	}
 	if addr.Nil() {
 		return 0, fmt.Errorf("armcimpi: Rmw on NULL address")
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // Mutexes implements the ARMCI mutex API with the MPI RMA queueing
@@ -123,6 +124,9 @@ func (m *Mutexes) Lock(mtx, proc int) {
 	rank := m.r.Rank()
 	o.MaxGauge(rank, obs.GMutexQueue, int64(queued))
 	o.AddTime(rank, obs.TMutexWait, m.r.R.P.Now()-t0)
+	if pr := o.Prof(); pr != nil {
+		pr.PhaseAt(rank, profile.PhaseLockWait, t0, m.r.R.P.Now())
+	}
 	if o.Tracing() {
 		o.Span(rank, "armci", "mutex.lock", t0, m.r.R.P.Now(),
 			obs.A("host", proc), obs.A("queued", queued))

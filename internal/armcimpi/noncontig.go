@@ -7,6 +7,15 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
+)
+
+// Profiler op classification per surface shape, indexed by opClass.
+var (
+	profStridedOp   = [3]profile.Op{classGet: profile.OpGetS, classPut: profile.OpPutS, classAcc: profile.OpAccS}
+	profIOVOp       = [3]profile.Op{classGet: profile.OpGetV, classPut: profile.OpPutV, classAcc: profile.OpAccV}
+	profNbStridedOp = [3]profile.Op{classGet: profile.OpNbGetS, classPut: profile.OpNbPutS, classAcc: profile.OpNbAccS}
+	profNbIOVOp     = [3]profile.Op{classGet: profile.OpNbGetV, classPut: profile.OpNbPutV, classAcc: profile.OpNbAccV}
 )
 
 // stridedMethod resolves the configured strided strategy.
@@ -40,6 +49,10 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 		return err
 	}
 	t0 := r.R.P.Now()
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profStridedOp[class])
+		defer pr.End(r.Rank())
+	}
 	method := r.stridedMethod()
 	p, err := r.compileStrided(class, scale, s, method)
 	if err != nil {
@@ -209,6 +222,10 @@ func orient(iov []armci.GIOV, class opClass) []iovSeg {
 // iov compiles and executes an IOV operation with the selected method
 // (SectionVI.A).
 func (r *Runtime) iov(class opClass, scale float64, iov []armci.GIOV, proc int, method Method) error {
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profIOVOp[class])
+		defer pr.End(r.Rank())
+	}
 	p, err := r.compileIOV(class, scale, iov, proc, method)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 type opClass int
@@ -166,6 +167,10 @@ func (r *Runtime) remote(addr armci.Addr, n int) (*GMR, int, int, error) {
 // locally and remotely complete on return (SectionV.F).
 func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 	t0 := r.R.P.Now()
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpPut)
+		defer pr.End(r.Rank())
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -186,6 +191,10 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 // available on return.
 func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 	t0 := r.R.P.Now()
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpGet)
+		defer pr.End(r.Rank())
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -207,6 +216,10 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 // argument) and issues MPI_Accumulate with MPI_SUM.
 func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) error {
 	t0 := r.R.P.Now()
+	if pr := r.obs().Prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpAcc)
+		defer pr.End(r.Rank())
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}

@@ -8,8 +8,22 @@ import (
 
 	"repro/internal/armci"
 	"repro/internal/fabric"
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
+
+// profBegin opens a profiler scope for one surface op; it returns the
+// matching close func (or nil when profiling is off). The Nb* variants
+// delegate to their blocking twins and are recorded as those.
+func (r *Runtime) profBegin(op profile.Op) func() {
+	pr := r.w.Obs.Prof()
+	if pr == nil {
+		return nil
+	}
+	rank := r.Rank()
+	pr.Begin(rank, op)
+	return func() { pr.End(rank) }
+}
 
 func f64bits(f float64) uint64     { return math.Float64bits(f) }
 func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
@@ -176,6 +190,9 @@ func (r *Runtime) contigSegs(src, dst armci.Addr, n int) ([]seg, error) {
 
 // Put copies n bytes from the local src to the global dst.
 func (r *Runtime) Put(src, dst armci.Addr, n int) error {
+	if end := r.profBegin(profile.OpPut); end != nil {
+		defer end()
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -188,6 +205,9 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 
 // Get copies n bytes from the global src to the local dst.
 func (r *Runtime) Get(src, dst armci.Addr, n int) error {
+	if end := r.profBegin(profile.OpGet); end != nil {
+		defer end()
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -200,6 +220,9 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 
 // Acc applies dst += scale*src on float64 elements.
 func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) error {
+	if end := r.profBegin(profile.OpAcc); end != nil {
+		defer end()
+	}
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
@@ -240,6 +263,9 @@ func (r *Runtime) resolveStrided(s *armci.Strided) ([]seg, error) {
 // the data server unpacks it, which is this design's noncontiguous
 // advantage).
 func (r *Runtime) PutS(s *armci.Strided) error {
+	if end := r.profBegin(profile.OpPutS); end != nil {
+		defer end()
+	}
 	segs, err := r.resolveStrided(s)
 	if err != nil {
 		return err
@@ -249,6 +275,9 @@ func (r *Runtime) PutS(s *armci.Strided) error {
 
 // GetS performs a strided get.
 func (r *Runtime) GetS(s *armci.Strided) error {
+	if end := r.profBegin(profile.OpGetS); end != nil {
+		defer end()
+	}
 	segs, err := r.resolveStrided(s)
 	if err != nil {
 		return err
@@ -258,6 +287,9 @@ func (r *Runtime) GetS(s *armci.Strided) error {
 
 // AccS performs a strided accumulate.
 func (r *Runtime) AccS(op armci.AccOp, scale float64, s *armci.Strided) error {
+	if end := r.profBegin(profile.OpAccS); end != nil {
+		defer end()
+	}
 	if s.SegBytes()%8 != 0 {
 		return fmt.Errorf("armci-ds: AccS segment size %d not float64-aligned", s.SegBytes())
 	}
@@ -294,6 +326,9 @@ func (r *Runtime) resolveIOV(iov []armci.GIOV, proc int, remoteIsSrc bool) ([]se
 
 // PutV performs a generalized I/O vector put.
 func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
+	if end := r.profBegin(profile.OpPutV); end != nil {
+		defer end()
+	}
 	segs, err := r.resolveIOV(iov, proc, false)
 	if err != nil {
 		return err
@@ -303,6 +338,9 @@ func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
 
 // GetV performs a generalized I/O vector get.
 func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
+	if end := r.profBegin(profile.OpGetV); end != nil {
+		defer end()
+	}
 	segs, err := r.resolveIOV(iov, proc, true)
 	if err != nil {
 		return err
@@ -312,6 +350,9 @@ func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
 
 // AccV performs a generalized I/O vector accumulate.
 func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) error {
+	if end := r.profBegin(profile.OpAccV); end != nil {
+		defer end()
+	}
 	for i := range iov {
 		if iov[i].Bytes%8 != 0 {
 			return fmt.Errorf("armci-ds: AccV segment size %d not float64-aligned", iov[i].Bytes)
@@ -428,6 +469,9 @@ func (r *Runtime) Barrier() {
 // Rmw performs an atomic read-modify-write, served (and therefore
 // trivially serialized) by the target's data server.
 func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, error) {
+	if end := r.profBegin(profile.OpRmw); end != nil {
+		defer end()
+	}
 	if addr.Nil() {
 		return 0, fmt.Errorf("armci-ds: Rmw on NULL address")
 	}
@@ -442,11 +486,20 @@ func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, er
 	me := r.Rank()
 	node := m.NodeOf(addr.Rank)
 	arrive := m.SendDataAsync(me, addr.Rank, 0, fabric.XferOpt{NoNIC: true})
-	_, served := r.w.serve(node, arrive, 8, 0)
+	start, served := r.w.serve(node, arrive, 8, 0)
+	pr := r.w.Obs.Prof()
+	if pr != nil {
+		pr.PhaseAt(me, profile.PhaseTargetQueue, arrive, start)
+		pr.PhaseAt(me, profile.PhaseTargetProc, start, served)
+		pr.Send(me, addr.Rank, profile.MsgAmo, profile.RouteDS, 8)
+	}
 	var old int64
 	done := false
 	va := addr.VA
 	eng.At(served, func() {
+		if pr != nil {
+			pr.Recv(me, addr.Rank, profile.MsgAmo, profile.RouteDS, 8)
+		}
 		b := reg.Bytes(va, 8)
 		old = int64(binary.LittleEndian.Uint64(b))
 		switch op {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -186,9 +187,17 @@ func (r *Runtime) putSegs(segs []seg, target int, accumulate bool, scale float64
 		data[i] = append([]byte(nil), sg.sreg.Bytes(sg.srcVA, sg.n)...)
 	}
 	node := m.NodeOf(target)
+	me := r.Rank()
+	pr := r.w.Obs.Prof()
 	if m.SameNode(r.Rank(), target) && !accumulate {
 		// Node-local shared memory: direct copy, no server involved.
+		t0c := r.p.Now()
 		m.CopyLocal(r.p, total)
+		if pr != nil {
+			pr.PhaseAt(me, profile.PhaseShmCopy, t0c, r.p.Now())
+			pr.Send(me, target, profile.MsgPut, profile.RouteShm, total)
+			pr.Recv(me, target, profile.MsgPut, profile.RouteShm, total)
+		}
 		for i, sg := range segs {
 			copy(sg.dreg.Bytes(sg.dstVA, sg.n), data[i])
 		}
@@ -196,12 +205,26 @@ func (r *Runtime) putSegs(segs []seg, target int, accumulate bool, scale float64
 		return nil
 	}
 	arrive := m.SendDataAsync(r.Rank(), target, total, fabric.XferOpt{Rate: r.rate()})
+	class := profile.MsgPut
+	if accumulate {
+		class = profile.MsgAcc
+	}
+	if pr != nil {
+		base, xs, xa := m.LastXfer()
+		pr.PhaseAt(me, profile.PhaseWireQueue, base, xs)
+		pr.PhaseAt(me, profile.PhaseWire, xs, xa)
+		pr.Send(me, target, class, profile.RouteDS, total)
+	}
 	procNs := 0.0
 	copyBytes := total // staging copy out of the receive buffer
 	if accumulate {
 		procNs = float64(total) / r.accRate() * 1e9
 	}
 	start, done := r.w.serve(node, arrive, copyBytes, procNs)
+	if pr != nil {
+		pr.PhaseAt(me, profile.PhaseTargetQueue, arrive, start)
+		pr.PhaseAt(me, profile.PhaseTargetProc, start, done)
+	}
 	o := r.w.Obs
 	o.Inc(r.Rank(), obs.CDsRequests)
 	o.AddTime(r.Rank(), obs.TDsWait, start-arrive)
@@ -215,6 +238,9 @@ func (r *Runtime) putSegs(segs []seg, target int, accumulate bool, scale float64
 	}
 	segsCopy := segs
 	m.Eng.At(done, func() {
+		if pr != nil {
+			pr.Recv(me, target, class, profile.RouteDS, total)
+		}
 		for i, sg := range segsCopy {
 			dst := sg.dreg.Bytes(sg.dstVA, sg.n)
 			if accumulate {
@@ -244,8 +270,15 @@ func (r *Runtime) getSegs(segs []seg, target int) error {
 	for _, sg := range segs {
 		total += sg.n
 	}
+	pr := r.w.Obs.Prof()
 	if m.SameNode(r.Rank(), target) {
+		t0c := r.p.Now()
 		m.CopyLocal(r.p, total)
+		if pr != nil {
+			pr.PhaseAt(r.Rank(), profile.PhaseShmCopy, t0c, r.p.Now())
+			pr.Send(target, r.Rank(), profile.MsgGet, profile.RouteShm, total)
+			pr.Recv(target, r.Rank(), profile.MsgGet, profile.RouteShm, total)
+		}
 		for _, sg := range segs {
 			copy(sg.dreg.Bytes(sg.dstVA, sg.n), sg.sreg.Bytes(sg.srcVA, sg.n))
 		}
@@ -257,6 +290,10 @@ func (r *Runtime) getSegs(segs []seg, target int) error {
 	// back — unlike an RDMA engine, the two-sided server's CPU is busy
 	// for the duration of the response injection too.
 	start, served := r.w.serve(node, req, total, float64(total)/r.rate()*1e9)
+	if pr != nil {
+		pr.PhaseAt(r.Rank(), profile.PhaseTargetQueue, req, start)
+		pr.PhaseAt(r.Rank(), profile.PhaseTargetProc, start, served)
+	}
 	o := r.w.Obs
 	o.Inc(r.Rank(), obs.CDsRequests)
 	o.AddTime(r.Rank(), obs.TDsWait, start-req)
@@ -275,7 +312,16 @@ func (r *Runtime) getSegs(segs []seg, target int) error {
 			data[i] = append([]byte(nil), sg.sreg.Bytes(sg.srcVA, sg.n)...)
 		}
 		back := m.SendDataAsync(target, me, total, fabric.XferOpt{Rate: r.rate()})
+		if pr != nil {
+			base, xs, xa := m.LastXfer()
+			pr.PhaseAt(me, profile.PhaseWireQueue, base, xs)
+			pr.PhaseAt(me, profile.PhaseWire, xs, xa)
+			pr.Send(target, me, profile.MsgGet, profile.RouteDS, total)
+		}
 		eng.At(back, func() {
+			if pr != nil {
+				pr.Recv(target, me, profile.MsgGet, profile.RouteDS, total)
+			}
 			for i, sg := range segsCopy {
 				copy(sg.dreg.Bytes(sg.dstVA, sg.n), data[i])
 			}

@@ -101,6 +101,22 @@ type Machine struct {
 	// Obs, when non-nil, receives per-rank injection counters and
 	// per-node NIC link busy time. All hooks are nil-safe no-ops.
 	Obs *obs.Recorder
+
+	// lastXfer records the timing decomposition of the most recent
+	// xferCost: Base is the pre-NIC-arbitration earliest start (origin
+	// overheads charged), Start the actual wire start after link
+	// queueing, Arrive the remote arrival. The scheduler is
+	// cooperative, so a caller reading it immediately after
+	// SendData/SendDataAsync sees its own transfer.
+	lastXfer struct{ Base, Start, Arrive sim.Time }
+}
+
+// LastXfer returns the timing decomposition of the most recent
+// transfer; see the lastXfer field. Profiler hooks use it to split an
+// op's wire time into queueing [Base, Start) and transfer [Start,
+// Arrive).
+func (m *Machine) LastXfer() (base, start, arrive sim.Time) {
+	return m.lastXfer.Base, m.lastXfer.Start, m.lastXfer.Arrive
 }
 
 // NewMachine creates fabric state for nranks ranks on engine eng.

@@ -62,16 +62,19 @@ func (m *Machine) xferCost(now sim.Time, src, dst, n int, opt XferOpt) (start, a
 		if arrive <= now {
 			arrive = now + 1
 		}
+		m.lastXfer.Base, m.lastXfer.Start, m.lastXfer.Arrive = now, start, arrive
 		return start, arrive
 	}
 	rate := opt.Rate
 	if rate == 0 {
 		rate = par.Bandwidth
 	}
-	start = now + sim.FromSeconds((par.MsgOverhead+opt.Overhead)/1e9)
+	base := now + sim.FromSeconds((par.MsgOverhead+opt.Overhead)/1e9)
+	start = base
 	occupy := sim.FromSeconds(float64(n) / rate)
 	if !opt.NoNIC {
-		s, d := &m.nics[m.NodeOf(src)], &m.nics[m.NodeOf(dst)]
+		sn, dn := m.NodeOf(src), m.NodeOf(dst)
+		s, d := &m.nics[sn], &m.nics[dn]
 		if s.freeAt > start {
 			start = s.freeAt
 		}
@@ -80,13 +83,23 @@ func (m *Machine) xferCost(now sim.Time, src, dst, n int, opt XferOpt) (start, a
 		}
 		s.freeAt = start + occupy
 		d.freeAt = start + occupy
-		m.Obs.LinkBusy(m.NodeOf(src), occupy)
-		m.Obs.LinkBusy(m.NodeOf(dst), occupy)
+		m.Obs.LinkBusy(sn, occupy)
+		m.Obs.LinkBusy(dn, occupy)
+		if pr := m.Obs.Prof(); pr != nil {
+			queued, backlog := start-base, start+occupy-now
+			pr.Link(sn, n, queued, occupy, backlog)
+			pr.Link(dn, n, queued, occupy, backlog)
+		}
+		if m.Obs.Tracing() {
+			m.Obs.SpanLane(obs.LaneNIC(sn), "nic", "xfer", start, start+occupy,
+				obs.A("bytes", n), obs.A("dst", dst))
+		}
 	}
 	arrive = start + occupy + sim.FromSeconds(par.LatencyNs/1e9)
 	if arrive <= now {
 		arrive = now + 1
 	}
+	m.lastXfer.Base, m.lastXfer.Start, m.lastXfer.Arrive = base, start, arrive
 	return start, arrive
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -394,6 +395,9 @@ func (w *Win) Lock(lt LockType, target int) error {
 	}
 	o.Observe(r.ID(), obs.HLockWait, wait)
 	o.Inc(r.ID(), obs.CEpochs)
+	if pr := o.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseLockWait, reqAt, p.Now())
+	}
 	if o.Tracing() {
 		o.Span(r.ID(), "mpi", "lock("+lt.String()+")", reqAt, p.Now(), obs.A("target", targetWorld))
 	}
@@ -445,6 +449,7 @@ func (w *Win) Unlock(target int) error {
 	targetWorld := ws.group[target]
 	eng := r.W.M.Eng
 	p := r.P
+	tU := p.Now()
 
 	// Wait for the slowest operation of the epoch to complete remotely.
 	// completeAt can advance while we sleep (get return paths are timed
@@ -478,6 +483,9 @@ func (w *Win) Unlock(target int) error {
 	}
 	for !done {
 		p.Park("mpi.WinUnlock")
+	}
+	if pr := r.W.Obs.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseEpochWait, tU, p.Now())
 	}
 	if o := r.W.Obs; o.Tracing() {
 		o.Span(r.ID(), "epoch", "epoch("+ep.ltype.String()+")", ep.openedAt, p.Now(),
@@ -632,6 +640,9 @@ func (w *Win) pack(buf LocalBuf) []byte {
 	o := r.W.Obs
 	o.Add(r.ID(), obs.CPackBytes, int64(buf.Type.Size()))
 	o.AddTime(r.ID(), obs.TPack, r.P.Now()-t0)
+	if pr := o.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhasePack, t0, r.P.Now())
+	}
 	if o.Tracing() {
 		o.Span(r.ID(), "dt", "pack", t0, r.P.Now(), obs.A("bytes", buf.Type.Size()))
 	}
@@ -669,9 +680,20 @@ func (w *Win) Put(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	rate := w.originXferRate(buf, len(data))
 	targetWorld := w.state.group[target]
 	arrive := m.SendDataAsync(r.ID(), targetWorld, len(data), fabric.XferOpt{Rate: rate}) + r.progressDelay()
+	origin := r.ID()
+	pr := r.W.Obs.Prof()
+	if pr != nil {
+		base, xs, xa := m.LastXfer()
+		pr.PhaseAt(origin, profile.PhaseWireQueue, base, xs)
+		pr.PhaseAt(origin, profile.PhaseWire, xs, xa)
+		pr.Send(origin, targetWorld, profile.MsgPut, profile.RouteRMA, len(data))
+	}
 	treg := w.state.regions[target]
 	ws := w.state
 	m.Eng.At(arrive, func() {
+		if pr != nil {
+			pr.Recv(origin, targetWorld, profile.MsgPut, profile.RouteRMA, len(data))
+		}
 		if !ttype.Contig() {
 			// Target-side unpack cost is borne by the NIC/agent; modeled
 			// as arriving-data processing latency folded into arrive via
@@ -718,7 +740,11 @@ func (w *Win) shmPut(buf LocalBuf, target, tdisp int, ttype Datatype, ep *epoch,
 	treg, _ := w.SharedQuery(target)
 	src := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
 	data := packFrom(src, buf.Type)
+	t0c := r.P.Now()
 	m.ShmCopy(r.P, len(data))
+	if pr := r.W.Obs.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseShmCopy, t0c, r.P.Now())
+	}
 	if err := w.shmApply(func() {
 		dst := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
 		unpackInto(dst, ttype, data)
@@ -745,13 +771,31 @@ func (w *Win) shmApply(apply func(), op string) (err error) {
 	return nil
 }
 
-// shmOpObs records counters and the trace span of one shm-path op.
+// shmOpObs records counters, the comm-matrix entry, and the trace span
+// of one shm-path op.
 func (w *Win) shmOpObs(opMetric, span string, target, nbytes int, t0 sim.Time) {
 	r := w.comm.r
 	o := r.W.Obs
 	o.Inc(r.ID(), opMetric)
 	o.Add(r.ID(), obs.CBytesShm, int64(nbytes))
 	o.Inc(r.ID(), obs.CShmCopies)
+	if pr := o.Prof(); pr != nil {
+		class := profile.MsgAcc
+		switch opMetric {
+		case obs.COpsPut:
+			class = profile.MsgPut
+		case obs.COpsGet:
+			class = profile.MsgGet
+		}
+		src, dst := r.ID(), w.state.group[target]
+		if class == profile.MsgGet {
+			src, dst = dst, src
+		}
+		// The shm path completes synchronously at the origin CPU, so the
+		// send and receive sides of the matrix are recorded together.
+		pr.Send(src, dst, class, profile.RouteShm, nbytes)
+		pr.Recv(src, dst, class, profile.RouteShm, nbytes)
+	}
 	if o.Tracing() {
 		o.Span(r.ID(), "rma", span, t0, r.P.Now(),
 			obs.A("target", w.state.group[target]), obs.A("bytes", nbytes))
@@ -783,13 +827,24 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 	// re-checks completeAt after sleeping so it never closes the epoch
 	// before the data has landed.
 	origin := r.ID()
+	pr := r.W.Obs.Prof()
 	reqArrive := r.control(targetWorld)
 	m.Eng.At(reqArrive, func() {
 		src := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())
 		data := packFrom(src, ttype)
 		back := m.SendDataAsync(targetWorld, origin, len(data), fabric.XferOpt{Rate: rate})
+		if pr != nil {
+			base, xs, xa := m.LastXfer()
+			pr.PhaseAt(origin, profile.PhaseWireQueue, base, xs)
+			pr.PhaseAt(origin, profile.PhaseWire, xs, xa)
+			pr.Send(targetWorld, origin, profile.MsgGet, profile.RouteRMA, len(data))
+		}
+		back0 := back
 		if !ttype.Contig() || !buf.Type.Contig() {
 			back += m.CopyTime(nbytes)
+		}
+		if pr != nil && back > back0 {
+			pr.PhaseAt(origin, profile.PhasePack, back0, back)
 		}
 		if back > ep.completeAt {
 			ep.completeAt = back
@@ -801,6 +856,9 @@ func (w *Win) Get(buf LocalBuf, target, tdisp int, ttype Datatype) error {
 			o.Span(origin, "rma", "get", t0, back, obs.A("target", targetWorld), obs.A("bytes", nbytes))
 		}
 		m.Eng.At(back, func() {
+			if pr != nil {
+				pr.Recv(targetWorld, origin, profile.MsgGet, profile.RouteRMA, len(data))
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
 					ws.setErr(fmt.Errorf("mpi: Get apply failed: %v", rec))
@@ -835,7 +893,11 @@ func (w *Win) shmGet(buf LocalBuf, target, tdisp int, ttype Datatype, ep *epoch,
 	}, "Get"); err != nil {
 		return err
 	}
+	t0c := r.P.Now()
 	m.ShmCopy(r.P, len(data))
+	if pr := r.W.Obs.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseShmCopy, t0c, r.P.Now())
+	}
 	if err := w.shmApply(func() {
 		dst := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
 		unpackInto(dst, buf.Type, data)
@@ -870,6 +932,14 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	ws := w.state
 	tl := w.state.locks[target]
 	arrive := m.SendDataAsync(r.ID(), targetWorld, len(data), fabric.XferOpt{Rate: rate}) + r.progressDelay()
+	origin := r.ID()
+	pr := r.W.Obs.Prof()
+	if pr != nil {
+		base, xs, xa := m.LastXfer()
+		pr.PhaseAt(origin, profile.PhaseWireQueue, base, xs)
+		pr.PhaseAt(origin, profile.PhaseWire, xs, xa)
+		pr.Send(origin, targetWorld, profile.MsgAcc, profile.RouteRMA, len(data))
+	}
 	// The target agent applies the reduction at the accumulate rate,
 	// serialized per target.
 	accRate := m.Par.AccumRate
@@ -882,7 +952,14 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	}
 	applyDone := start + sim.FromSeconds(float64(len(data))/accRate)
 	tl.accBusy = applyDone
+	if pr != nil {
+		pr.PhaseAt(origin, profile.PhaseTargetQueue, arrive, start)
+		pr.PhaseAt(origin, profile.PhaseTargetProc, start, applyDone)
+	}
 	m.Eng.At(applyDone, func() {
+		if pr != nil {
+			pr.Recv(origin, targetWorld, profile.MsgAcc, profile.RouteRMA, len(data))
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				ws.setErr(fmt.Errorf("mpi: Accumulate apply failed: %v", rec))
@@ -918,13 +995,18 @@ func (w *Win) shmAccumulate(buf LocalBuf, op Op, target, tdisp int, ttype Dataty
 	data := packFrom(src, buf.Type)
 	treg, _ := w.SharedQuery(target)
 	tl := w.state.locks[target]
-	start := r.P.Now()
+	t0q := r.P.Now()
+	start := t0q
 	if tl.accBusy > start {
 		start = tl.accBusy
 	}
 	fin := start + m.ShmCopyTime(len(data))
 	tl.accBusy = fin
 	m.ShmAccount(len(data))
+	if pr := r.W.Obs.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseTargetQueue, t0q, start)
+		pr.PhaseAt(r.ID(), profile.PhaseTargetProc, start, fin)
+	}
 	m.SleepUntil(r.P, fin)
 	if err := w.shmApply(func() {
 		dst := treg.Bytes(treg.VA+int64(tdisp), ttype.Span())

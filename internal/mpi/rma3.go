@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,9 @@ func (w *Win) Flush(target int) error {
 	}
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.CEpochFlush)
+	if pr := o.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseEpochWait, t0, r.P.Now())
+	}
 	if o.Tracing() {
 		o.Span(r.ID(), "epoch", "flush", t0, r.P.Now(), obs.A("target", w.state.group[target]))
 	}
@@ -123,6 +127,9 @@ func (w *Win) FlushAll() error {
 	r.P.Elapse(rtt)
 	o := r.W.Obs
 	o.Inc(r.ID(), obs.CEpochFlush)
+	if pr := o.Prof(); pr != nil {
+		pr.PhaseAt(r.ID(), profile.PhaseEpochWait, t0, r.P.Now())
+	}
 	o.Span(r.ID(), "epoch", "flush_all", t0, r.P.Now())
 	return w.state.err
 }
@@ -257,6 +264,23 @@ func (w *Win) RGet(buf LocalBuf, target, tdisp int, ttype Datatype) (*RMAReq, er
 
 const amoProcessNs = 120 // target-side atomic execution cost
 
+// amoShmProf records the profiler attribution of a same-node atomic:
+// serialization behind the target's accumulate engine, the atomic
+// execution, and the 8-byte matrix entry (send and receive together —
+// the shm path completes synchronously).
+func (w *Win) amoShmProf(target int, t0q, start, fin sim.Time) {
+	pr := w.comm.r.W.Obs.Prof()
+	if pr == nil {
+		return
+	}
+	rank := w.comm.r.ID()
+	pr.PhaseAt(rank, profile.PhaseTargetQueue, t0q, start)
+	pr.PhaseAt(rank, profile.PhaseTargetProc, start, fin)
+	targetWorld := w.state.group[target]
+	pr.Send(rank, targetWorld, profile.MsgAmo, profile.RouteShm, 8)
+	pr.Recv(rank, targetWorld, profile.MsgAmo, profile.RouteShm, 8)
+}
+
 // FetchAndOp atomically applies op to the int64 at (target, tdisp) with
 // operand `operand` and returns the previous value (MPI_Fetch_and_op
 // with MPI_INT64_T). OpNoOp reads without modifying; OpReplace swaps.
@@ -289,12 +313,14 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 		// Same-node atomic: a CPU atomic on the shared segment. Still
 		// serialized with accumulate processing on this target, but no
 		// control messages.
-		start := p.Now()
+		t0q := p.Now()
+		start := t0q
 		if tl.accBusy > start {
 			start = tl.accBusy
 		}
 		fin := start + sim.Time(amoProcessNs)
 		tl.accBusy = fin
+		w.amoShmProf(target, t0q, start, fin)
 		m.SleepUntil(p, fin)
 		if err := w.shmApply(func() {
 			b := treg.Bytes(treg.VA+int64(tdisp), 8)
@@ -318,16 +344,29 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 		return old, ws.err
 	}
 	done := false
+	pr := r.W.Obs.Prof()
+	origin := r.ID()
+	if pr != nil {
+		pr.Send(origin, targetWorld, profile.MsgAmo, profile.RouteRMA, 8)
+	}
 	arrive := r.control(targetWorld)
 	eng.At(arrive, func() {
 		// Atomics serialize through the target agent.
-		start := eng.Now()
+		t0q := eng.Now()
+		start := t0q
 		if tl.accBusy > start {
 			start = tl.accBusy
 		}
 		fin := start + sim.Time(amoProcessNs)
 		tl.accBusy = fin
+		if pr != nil {
+			pr.PhaseAt(origin, profile.PhaseTargetQueue, t0q, start)
+			pr.PhaseAt(origin, profile.PhaseTargetProc, start, fin)
+		}
 		eng.At(fin, func() {
+			if pr != nil {
+				pr.Recv(origin, targetWorld, profile.MsgAmo, profile.RouteRMA, 8)
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
 					ws.setErr(fmt.Errorf("mpi: FetchAndOp apply failed: %v", rec))
@@ -390,12 +429,14 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 	ws := w.state
 	var old int64
 	if w.shmFast(target) {
-		start := p.Now()
+		t0q := p.Now()
+		start := t0q
 		if tl.accBusy > start {
 			start = tl.accBusy
 		}
 		fin := start + sim.Time(amoProcessNs)
 		tl.accBusy = fin
+		w.amoShmProf(target, t0q, start, fin)
 		m.SleepUntil(p, fin)
 		if err := w.shmApply(func() {
 			b := treg.Bytes(treg.VA+int64(tdisp), 8)
@@ -417,15 +458,28 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 		return old, ws.err
 	}
 	done := false
+	pr := r.W.Obs.Prof()
+	origin := r.ID()
+	if pr != nil {
+		pr.Send(origin, targetWorld, profile.MsgAmo, profile.RouteRMA, 8)
+	}
 	arrive := r.control(targetWorld)
 	eng.At(arrive, func() {
-		start := eng.Now()
+		t0q := eng.Now()
+		start := t0q
 		if tl.accBusy > start {
 			start = tl.accBusy
 		}
 		fin := start + sim.Time(amoProcessNs)
 		tl.accBusy = fin
+		if pr != nil {
+			pr.PhaseAt(origin, profile.PhaseTargetQueue, t0q, start)
+			pr.PhaseAt(origin, profile.PhaseTargetProc, start, fin)
+		}
 		eng.At(fin, func() {
+			if pr != nil {
+				pr.Recv(origin, targetWorld, profile.MsgAmo, profile.RouteRMA, 8)
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
 					ws.setErr(fmt.Errorf("mpi: CompareAndSwap apply failed: %v", rec))

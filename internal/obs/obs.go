@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,7 @@ type Recorder struct {
 	clock  Clock
 	m      *Metrics
 	tr     *Tracer
+	prof   *profile.Profiler
 	pid    int    // current job id (trace "process")
 	job    string // current job label
 	nranks int
@@ -64,6 +66,8 @@ func (r *Recorder) parkName(why string) parkName {
 type Options struct {
 	// Trace enables span collection. Metrics are always collected.
 	Trace bool
+	// Profile enables the phase-attribution profiler.
+	Profile bool
 }
 
 // New creates an empty Recorder. The clock is bound per job by
@@ -72,6 +76,9 @@ func New(opt Options) *Recorder {
 	r := &Recorder{m: NewMetrics()}
 	if opt.Trace {
 		r.tr = NewTracer()
+	}
+	if opt.Profile {
+		r.prof = profile.New()
 	}
 	return r
 }
@@ -88,6 +95,16 @@ func (r *Recorder) Metrics() *Metrics {
 		return nil
 	}
 	return r.m
+}
+
+// Prof returns the phase-attribution profiler, or nil when profiling
+// is off (or the recorder itself is nil). Hook sites capture it once
+// per operation: pr := o.Prof(); if pr != nil { ... }.
+func (r *Recorder) Prof() *profile.Profiler {
+	if r == nil {
+		return nil
+	}
+	return r.prof
 }
 
 // BeginJob opens a new trace process for one simulated job: label
@@ -107,6 +124,7 @@ func (r *Recorder) BeginJob(label string, clock Clock, nranks int) {
 	if r.tr != nil {
 		r.tr.meta(r.pid, label, nranks)
 	}
+	r.prof.BeginJob(clock, nranks)
 }
 
 // now returns the current virtual time, or zero with no bound clock.
@@ -202,7 +220,14 @@ func (r *Recorder) Instant(rank int, cat, name string, at sim.Time, args ...Arg)
 // agent, kept clear of rank lanes.
 func LaneServer(node int) int { return serverLaneBase + node }
 
-const serverLaneBase = 1 << 16
+// LaneNIC returns the trace lane for node n's fabric link, kept clear
+// of both rank and server lanes.
+func LaneNIC(node int) int { return nicLaneBase + node }
+
+const (
+	serverLaneBase = 1 << 16
+	nicLaneBase    = 2 << 16
+)
 
 // --- sim.Observer ----------------------------------------------------
 

@@ -99,9 +99,9 @@ func TestTraceExportIsValidJSONAndDeterministic(t *testing.T) {
 	if err := json.Unmarshal(a, &doc); err != nil {
 		t.Fatalf("trace is not valid JSON: %v\n%s", err, a)
 	}
-	// 3 metadata (job-a proc + 2 ranks) + 3 spans/instants + 1 park span
-	// + 2 metadata (job-b) + 1 span.
-	if len(doc.TraceEvents) != 10 {
+	// 5 metadata (job-a proc + name and sort_index per rank) + 3
+	// spans/instants + 1 park span + 3 metadata (job-b) + 1 span.
+	if len(doc.TraceEvents) != 13 {
 		t.Fatalf("event count = %d", len(doc.TraceEvents))
 	}
 	// Spot-check the chrome fields of the first real span.

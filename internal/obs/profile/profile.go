@@ -1,0 +1,488 @@
+// Package profile is the phase-attribution profiler: it decomposes
+// every ARMCI operation into virtual-time phases (lock/epoch wait,
+// datatype pack, shared-memory copy, wire queueing and transfer,
+// target-side queueing and processing) and aggregates them into
+// log-bucketed histograms per (operation x phase x rank), a rank x rank
+// communication matrix split by message class and route, and per-link
+// utilization statistics.
+//
+// Attribution is critical-path style: each rank carries one open
+// operation scope with a monotonic cursor; an interval [start, end) is
+// credited only for the part past the cursor, so overlapping phases
+// (e.g. a pack that proceeds while an earlier segment is on the wire)
+// are never double-counted. At scope end the residual between the
+// operation's measured latency and the attributed phases is credited to
+// the "other" phase, so phase times always sum exactly to the
+// operation's total — the invariant the report and its tests rely on.
+// Nonblocking operations whose wire intervals extend past their issue
+// return are clamped the other way: their total is the phase sum.
+//
+// Like the rest of internal/obs, recording runs in deterministic
+// virtual time, every method is nil-safe (a nil *Profiler no-ops), and
+// warmed record paths allocate nothing.
+package profile
+
+import (
+	"repro/internal/sim"
+)
+
+// Clock supplies the current virtual time; obs.Recorder's job clocks
+// satisfy it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// Phase is one attributed slice of an operation's latency.
+type Phase uint8
+
+const (
+	// PhaseLockWait is time from a lock/mutex request to its grant.
+	PhaseLockWait Phase = iota
+	// PhaseEpochWait is time spent in Unlock/Flush/FlushAll waiting for
+	// remote completion of the epoch's operations.
+	PhaseEpochWait
+	// PhasePack is origin- or target-side datatype pack/unpack time.
+	PhasePack
+	// PhaseShmCopy is intra-node shared-segment copy time.
+	PhaseShmCopy
+	// PhaseWireQueue is time a message waited for a busy NIC link.
+	PhaseWireQueue
+	// PhaseWire is serialization plus propagation on the fabric.
+	PhaseWire
+	// PhaseTargetQueue is queueing behind the target-side agent
+	// (accumulate engine, AMO unit, or data server).
+	PhaseTargetQueue
+	// PhaseTargetProc is target-side processing (reduction application,
+	// atomic execution, data-server service).
+	PhaseTargetProc
+	// PhaseOther is the residual: software overheads, control-message
+	// round trips, and progress delays not claimed by another phase.
+	PhaseOther
+
+	// NumPhases is the phase count; keep it last.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"lock.wait", "epoch.wait", "dt.pack", "shm.copy",
+	"wire.queue", "wire.xfer", "target.queue", "target.proc", "other",
+}
+
+func (ph Phase) String() string {
+	if ph < NumPhases {
+		return phaseNames[ph]
+	}
+	return "?"
+}
+
+// Op classifies the ARMCI surface operation being attributed.
+type Op uint8
+
+const (
+	OpPut Op = iota
+	OpGet
+	OpAcc
+	OpPutS
+	OpGetS
+	OpAccS
+	OpPutV
+	OpGetV
+	OpAccV
+	OpRmw
+	OpNbPut
+	OpNbGet
+	OpNbAcc
+	OpNbPutS
+	OpNbGetS
+	OpNbAccS
+	OpNbPutV
+	OpNbGetV
+	OpNbAccV
+
+	// NumOps is the operation count; keep it last.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"put", "get", "acc", "puts", "gets", "accs", "putv", "getv", "accv",
+	"rmw", "nbput", "nbget", "nbacc", "nbputs", "nbgets", "nbaccs",
+	"nbputv", "nbgetv", "nbaccv",
+}
+
+func (op Op) String() string {
+	if op < NumOps {
+		return opNames[op]
+	}
+	return "?"
+}
+
+// MsgClass classifies a communication-matrix entry's payload.
+type MsgClass uint8
+
+const (
+	MsgPut MsgClass = iota
+	MsgGet
+	MsgAcc
+	MsgAmo
+
+	// NumMsgClasses is the class count; keep it last.
+	NumMsgClasses
+)
+
+var msgClassNames = [NumMsgClasses]string{"put", "get", "acc", "amo"}
+
+func (c MsgClass) String() string {
+	if c < NumMsgClasses {
+		return msgClassNames[c]
+	}
+	return "?"
+}
+
+// Route classifies how the payload moved.
+type Route uint8
+
+const (
+	// RouteRMA is the one-sided fabric path (MPI RMA over the NIC).
+	RouteRMA Route = iota
+	// RouteShm is the intra-node shared-memory path.
+	RouteShm
+	// RouteDS is the two-sided data-server path.
+	RouteDS
+
+	// NumRoutes is the route count; keep it last.
+	NumRoutes
+)
+
+var routeNames = [NumRoutes]string{"rma", "shm", "ds"}
+
+func (r Route) String() string {
+	if r < NumRoutes {
+		return routeNames[r]
+	}
+	return "?"
+}
+
+// histBuckets mirrors the obs metrics histograms: bucket b holds
+// durations in [2^(b-1), 2^b) ns, bucket 0 holds zero.
+const histBuckets = 48
+
+// Hist is one log2 virtual-time histogram.
+type Hist struct {
+	Count   int64
+	SumNs   int64
+	Buckets [histBuckets]int64
+}
+
+func (h *Hist) observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	b := bitLen(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Count++
+	h.SumNs += int64(d)
+	h.Buckets[b]++
+}
+
+// bitLen is bits.Len64 without the import (keeps the package's only
+// dependency the sim clock).
+func bitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// scope is one rank's open operation. Nested Begin calls (a public op
+// re-entered through the per-segment execution path, or a nonblocking
+// delegate falling through to its blocking twin) fold into the outer
+// scope via depth counting.
+type scope struct {
+	open   bool
+	depth  int32
+	op     Op
+	begin  sim.Time
+	cursor sim.Time
+	phases [NumPhases]sim.Time
+}
+
+// Cell is one communication-matrix entry: traffic from Src to Dst of
+// one message class over one route, tallied independently at the send
+// site (origin issue) and the receive site (target-side apply), so the
+// two sides cross-check each other.
+type Cell struct {
+	Src, Dst  int
+	Class     MsgClass
+	Route     Route
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// LinkStat is one node's NIC utilization record.
+type LinkStat struct {
+	Msgs       int64
+	Bytes      int64
+	Busy       sim.Time // serialization occupancy
+	Queued     sim.Time // time messages waited for the link
+	MaxBacklog sim.Time // deepest queue horizon seen (freeAt - now)
+}
+
+// Profiler aggregates phase attributions across one or more simulated
+// jobs. The cooperative scheduler guarantees single-threaded access.
+type Profiler struct {
+	clock  Clock
+	scopes []scope
+
+	hists  [NumOps][NumPhases][]Hist // per-rank phase histograms
+	totals [NumOps][]Hist            // per-rank whole-op histograms
+
+	matrix map[uint64]*Cell
+	links  []LinkStat
+}
+
+// New creates an empty profiler. The clock is bound per job by
+// BeginJob; until then, recording calls are dropped.
+func New() *Profiler {
+	return &Profiler{matrix: map[uint64]*Cell{}}
+}
+
+// BeginJob binds the profiler to a new job's clock and rank count.
+// Statistics accumulate across jobs; open scopes are discarded (each
+// job's virtual clock restarts at zero).
+func (p *Profiler) BeginJob(clock Clock, nranks int) {
+	if p == nil {
+		return
+	}
+	p.clock = clock
+	if cap(p.scopes) < nranks {
+		p.scopes = make([]scope, nranks)
+	} else {
+		p.scopes = p.scopes[:nranks]
+		for i := range p.scopes {
+			p.scopes[i] = scope{}
+		}
+	}
+}
+
+// Begin opens (or nests into) rank's operation scope.
+func (p *Profiler) Begin(rank int, op Op) {
+	if p == nil || rank < 0 || rank >= len(p.scopes) || p.clock == nil {
+		return
+	}
+	sc := &p.scopes[rank]
+	if sc.open {
+		sc.depth++
+		return
+	}
+	now := p.clock.Now()
+	*sc = scope{open: true, op: op, begin: now, cursor: now}
+}
+
+// End closes rank's operation scope (or unwinds one nesting level) and
+// commits the attribution. The residual between the measured latency
+// and the attributed phases goes to PhaseOther; a negative residual
+// (nonblocking issue whose wire intervals extend past the return)
+// clamps the total to the phase sum, so phase times always sum exactly
+// to the recorded total.
+func (p *Profiler) End(rank int) {
+	if p == nil || rank < 0 || rank >= len(p.scopes) {
+		return
+	}
+	sc := &p.scopes[rank]
+	if !sc.open {
+		return
+	}
+	if sc.depth > 0 {
+		sc.depth--
+		return
+	}
+	sc.open = false
+	total := p.clock.Now() - sc.begin
+	var sum sim.Time
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		sum += sc.phases[ph]
+	}
+	if residual := total - sum; residual >= 0 {
+		sc.phases[PhaseOther] += residual
+	} else {
+		total = sum
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		if t := sc.phases[ph]; t > 0 {
+			p.histAt(sc.op, ph, rank).observe(t)
+		}
+	}
+	p.totalAt(sc.op, rank).observe(total)
+}
+
+// PhaseAt attributes [start, end) of rank's open operation to phase
+// ph. Only the part past the scope's cursor is credited (earlier
+// attributions own the overlap); with no open scope the interval is
+// dropped — late event-context attributions against an already sealed
+// nonblocking scope must not leak into the next operation.
+func (p *Profiler) PhaseAt(rank int, ph Phase, start, end sim.Time) {
+	if p == nil || rank < 0 || rank >= len(p.scopes) {
+		return
+	}
+	sc := &p.scopes[rank]
+	if !sc.open {
+		return
+	}
+	if start < sc.cursor {
+		start = sc.cursor
+	}
+	if end > sc.cursor {
+		sc.cursor = end
+	}
+	if end > start {
+		sc.phases[ph] += end - start
+	}
+}
+
+// InScope reports whether rank has an open operation scope (used by
+// hooks whose work is only worth doing when it will be attributed).
+func (p *Profiler) InScope(rank int) bool {
+	return p != nil && rank >= 0 && rank < len(p.scopes) && p.scopes[rank].open
+}
+
+func (p *Profiler) histAt(op Op, ph Phase, rank int) *Hist {
+	hs := p.hists[op][ph]
+	for len(hs) <= rank {
+		hs = append(hs, Hist{})
+	}
+	p.hists[op][ph] = hs
+	return &hs[rank]
+}
+
+func (p *Profiler) totalAt(op Op, rank int) *Hist {
+	hs := p.totals[op]
+	for len(hs) <= rank {
+		hs = append(hs, Hist{})
+	}
+	p.totals[op] = hs
+	return &hs[rank]
+}
+
+// --- communication matrix -------------------------------------------
+
+// matrix keys pack (src, dst, class, route) into one integer; ranks
+// stay well under 2^30.
+func matKey(src, dst int, c MsgClass, r Route) uint64 {
+	return uint64(src)<<34 | uint64(dst)<<4 | uint64(c)<<2 | uint64(r)
+}
+
+func (p *Profiler) cell(src, dst int, c MsgClass, r Route) *Cell {
+	k := matKey(src, dst, c, r)
+	cl := p.matrix[k]
+	if cl == nil {
+		cl = &Cell{Src: src, Dst: dst, Class: c, Route: r}
+		p.matrix[k] = cl
+	}
+	return cl
+}
+
+// Send records bytes leaving src for dst, tallied at the origin's
+// issue site.
+func (p *Profiler) Send(src, dst int, c MsgClass, r Route, bytes int) {
+	if p == nil || src < 0 || dst < 0 {
+		return
+	}
+	cl := p.cell(src, dst, c, r)
+	cl.SentMsgs++
+	cl.SentBytes += int64(bytes)
+}
+
+// Recv records bytes landing at dst from src, tallied at the
+// target-side apply/arrival site.
+func (p *Profiler) Recv(src, dst int, c MsgClass, r Route, bytes int) {
+	if p == nil || src < 0 || dst < 0 {
+		return
+	}
+	cl := p.cell(src, dst, c, r)
+	cl.RecvMsgs++
+	cl.RecvBytes += int64(bytes)
+}
+
+// Cells returns the communication matrix sorted by (src, dst, class,
+// route).
+func (p *Profiler) Cells() []Cell {
+	if p == nil {
+		return nil
+	}
+	keys := make([]uint64, 0, len(p.matrix))
+	for k := range p.matrix {
+		keys = append(keys, k)
+	}
+	sortU64(keys)
+	out := make([]Cell, len(keys))
+	for i, k := range keys {
+		out[i] = *p.matrix[k]
+	}
+	return out
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// --- link telemetry --------------------------------------------------
+
+// Link records one message's NIC accounting at a node: bytes moved,
+// time queued behind the link, serialization occupancy, and the queue
+// horizon depth after this message.
+func (p *Profiler) Link(node int, bytes int, queued, busy, backlog sim.Time) {
+	if p == nil || node < 0 {
+		return
+	}
+	for len(p.links) <= node {
+		p.links = append(p.links, LinkStat{})
+	}
+	ls := &p.links[node]
+	ls.Msgs++
+	ls.Bytes += int64(bytes)
+	if queued > 0 {
+		ls.Queued += queued
+	}
+	ls.Busy += busy
+	if backlog > ls.MaxBacklog {
+		ls.MaxBacklog = backlog
+	}
+}
+
+// LinkStats returns per-node NIC utilization records.
+func (p *Profiler) LinkStats() []LinkStat {
+	if p == nil {
+		return nil
+	}
+	return p.links
+}
+
+// --- accessors for tests and reports --------------------------------
+
+// TotalHists returns op's per-rank whole-operation histograms (nil if
+// the op never completed).
+func (p *Profiler) TotalHists(op Op) []Hist {
+	if p == nil || op >= NumOps {
+		return nil
+	}
+	return p.totals[op]
+}
+
+// PhaseHists returns op's per-rank histograms for one phase (nil if
+// never attributed).
+func (p *Profiler) PhaseHists(op Op, ph Phase) []Hist {
+	if p == nil || op >= NumOps || ph >= NumPhases {
+		return nil
+	}
+	return p.hists[op][ph]
+}

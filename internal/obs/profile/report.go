@@ -1,0 +1,284 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// aggHist sums a per-rank histogram slice into one histogram.
+func aggHist(hs []Hist) Hist {
+	var out Hist
+	for i := range hs {
+		out.Count += hs[i].Count
+		out.SumNs += hs[i].SumNs
+		for b := range hs[i].Buckets {
+			out.Buckets[b] += hs[i].Buckets[b]
+		}
+	}
+	return out
+}
+
+// opAgg is one op's cross-rank aggregate used by both emitters.
+type opAgg struct {
+	op     Op
+	total  Hist
+	phases [NumPhases]Hist
+}
+
+// aggregate returns per-op aggregates in enum order, skipping ops that
+// never completed — the deterministic iteration order both the text
+// report and the JSON rely on.
+func (p *Profiler) aggregate() []opAgg {
+	var out []opAgg
+	for op := Op(0); op < NumOps; op++ {
+		a := opAgg{op: op, total: aggHist(p.totals[op])}
+		if a.total.Count == 0 {
+			continue
+		}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			a.phases[ph] = aggHist(p.hists[op][ph])
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// --- text report -----------------------------------------------------
+
+// WriteReport renders the mpiP-style text report: top ops by aggregate
+// virtual time, per-op phase breakdown percentages, hottest rank
+// pairs, and per-link utilization. Output is byte-deterministic: every
+// section iterates sorted data with explicit tie-breaks.
+func (p *Profiler) WriteReport(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	aggs := p.aggregate()
+	// Top ops by aggregate time, ties broken by enum order (stable
+	// sort over the enum-ordered slice).
+	sort.SliceStable(aggs, func(i, j int) bool {
+		return aggs[i].total.SumNs > aggs[j].total.SumNs
+	})
+
+	var grand int64
+	for _, a := range aggs {
+		grand += a.total.SumNs
+	}
+
+	bw := &errWriter{w: w}
+	bw.printf("armci-prof: phase-attribution report (virtual time)\n")
+	bw.printf("---------------------------------------------------\n\n")
+
+	bw.printf("Top operations by aggregate time\n")
+	bw.printf("  %-8s %12s %16s %14s %8s\n", "op", "calls", "time(ns)", "mean(ns)", "% total")
+	for _, a := range aggs {
+		mean := int64(0)
+		if a.total.Count > 0 {
+			mean = a.total.SumNs / a.total.Count
+		}
+		bw.printf("  %-8s %12d %16d %14d %7.2f%%\n",
+			a.op, a.total.Count, a.total.SumNs, mean, pct(a.total.SumNs, grand))
+	}
+	bw.printf("\n")
+
+	bw.printf("Phase breakdown per operation (%% of op time)\n")
+	bw.printf("  %-8s", "op")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		bw.printf(" %12s", ph)
+	}
+	bw.printf("\n")
+	for _, a := range aggs {
+		bw.printf("  %-8s", a.op)
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			bw.printf(" %11.2f%%", pct(a.phases[ph].SumNs, a.total.SumNs))
+		}
+		bw.printf("\n")
+	}
+	bw.printf("\n")
+
+	cells := p.Cells()
+	if len(cells) > 0 {
+		// Hottest pairs by sent bytes; ties keep (src,dst,class,route)
+		// key order from Cells().
+		sort.SliceStable(cells, func(i, j int) bool {
+			return cells[i].SentBytes > cells[j].SentBytes
+		})
+		n := len(cells)
+		if n > 20 {
+			n = 20
+		}
+		bw.printf("Hottest pairs by bytes sent (top %d of %d)\n", n, len(cells))
+		bw.printf("  %4s %4s %-5s %-5s %10s %14s %10s %14s\n",
+			"src", "dst", "class", "route", "s.msgs", "s.bytes", "r.msgs", "r.bytes")
+		for _, c := range cells[:n] {
+			bw.printf("  %4d %4d %-5s %-5s %10d %14d %10d %14d\n",
+				c.Src, c.Dst, c.Class, c.Route, c.SentMsgs, c.SentBytes, c.RecvMsgs, c.RecvBytes)
+		}
+		bw.printf("\n")
+	}
+
+	links := p.links
+	hasLinks := false
+	for i := range links {
+		if links[i].Msgs > 0 {
+			hasLinks = true
+			break
+		}
+	}
+	if hasLinks {
+		bw.printf("Link utilization (per node NIC)\n")
+		bw.printf("  %4s %10s %14s %14s %14s %14s\n",
+			"node", "msgs", "bytes", "busy(ns)", "queued(ns)", "maxbacklog")
+		for node := range links {
+			ls := &links[node]
+			if ls.Msgs == 0 {
+				continue
+			}
+			bw.printf("  %4d %10d %14d %14d %14d %14d\n",
+				node, ls.Msgs, ls.Bytes, int64(ls.Busy), int64(ls.Queued), int64(ls.MaxBacklog))
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// --- JSON ------------------------------------------------------------
+
+// The JSON mirrors obs/report.go conventions: fixed struct field
+// order, integers only, sparse [bucket, count] histogram pairs, and
+// fully sorted iteration so repeat runs are byte-identical.
+
+type profHistJSON struct {
+	Count   int64      `json:"count"`
+	SumNs   int64      `json:"sum_ns"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+func toHistJSON(h Hist) profHistJSON {
+	out := profHistJSON{Count: h.Count, SumNs: h.SumNs}
+	for b, c := range h.Buckets {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, [2]int64{int64(b), c})
+		}
+	}
+	return out
+}
+
+type profPhaseJSON struct {
+	Phase string       `json:"phase"`
+	Hist  profHistJSON `json:"hist"`
+}
+
+type profOpJSON struct {
+	Op     string          `json:"op"`
+	Total  profHistJSON    `json:"total"`
+	Phases []profPhaseJSON `json:"phases"`
+}
+
+type profCellJSON struct {
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Class     string `json:"class"`
+	Route     string `json:"route"`
+	SentMsgs  int64  `json:"sent_msgs"`
+	SentBytes int64  `json:"sent_bytes"`
+	RecvMsgs  int64  `json:"recv_msgs"`
+	RecvBytes int64  `json:"recv_bytes"`
+}
+
+type profLinkJSON struct {
+	Node         int   `json:"node"`
+	Msgs         int64 `json:"msgs"`
+	Bytes        int64 `json:"bytes"`
+	BusyNs       int64 `json:"busy_ns"`
+	QueuedNs     int64 `json:"queued_ns"`
+	MaxBacklogNs int64 `json:"max_backlog_ns"`
+}
+
+type profJSON struct {
+	Schema string         `json:"schema"`
+	Ops    []profOpJSON   `json:"ops"`
+	Matrix []profCellJSON `json:"matrix"`
+	Links  []profLinkJSON `json:"links"`
+}
+
+// WriteJSON emits the deterministic machine-readable profile: ops in
+// enum order (empties skipped), phases in enum order (empties
+// skipped), the comm matrix key-sorted, links by node id.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	doc := profJSON{Schema: "armci-prof/1"}
+	for _, a := range p.aggregate() {
+		oj := profOpJSON{Op: a.op.String(), Total: toHistJSON(a.total)}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if a.phases[ph].Count == 0 {
+				continue
+			}
+			oj.Phases = append(oj.Phases, profPhaseJSON{
+				Phase: ph.String(), Hist: toHistJSON(a.phases[ph]),
+			})
+		}
+		doc.Ops = append(doc.Ops, oj)
+	}
+	for _, c := range p.Cells() {
+		doc.Matrix = append(doc.Matrix, profCellJSON{
+			Src: c.Src, Dst: c.Dst,
+			Class: c.Class.String(), Route: c.Route.String(),
+			SentMsgs: c.SentMsgs, SentBytes: c.SentBytes,
+			RecvMsgs: c.RecvMsgs, RecvBytes: c.RecvBytes,
+		})
+	}
+	for node := range p.links {
+		ls := &p.links[node]
+		if ls.Msgs == 0 {
+			continue
+		}
+		doc.Links = append(doc.Links, profLinkJSON{
+			Node: node, Msgs: ls.Msgs, Bytes: ls.Bytes,
+			BusyNs:       int64(ls.Busy),
+			QueuedNs:     int64(ls.Queued),
+			MaxBacklogNs: int64(ls.MaxBacklog),
+		})
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// TotalTime returns the aggregate attributed time for op across all
+// ranks (0 if the op never completed) — convenience for tests.
+func (p *Profiler) TotalTime(op Op) sim.Time {
+	if p == nil || op >= NumOps {
+		return 0
+	}
+	return sim.Time(aggHist(p.totals[op]).SumNs)
+}

@@ -37,6 +37,13 @@ type traceEvent struct {
 // stream — is too.
 type Tracer struct {
 	events []traceEvent
+
+	// named tracks auxiliary lanes (servers, NICs) already given
+	// thread_name/thread_sort_index metadata, keyed pid<<32|tid. Rank
+	// lanes are named eagerly in meta; auxiliary lanes lazily on first
+	// span, since which nodes host servers or carry traffic is only
+	// known once the job runs.
+	named map[int64]bool
 }
 
 // NewTracer creates an empty tracer.
@@ -46,11 +53,49 @@ func (t *Tracer) span(pid, tid int, cat, name string, start, end sim.Time, args 
 	if end < start {
 		end = start
 	}
+	if tid >= serverLaneBase {
+		t.nameAux(pid, tid)
+	}
 	t.events = append(t.events, traceEvent{
 		name: name, cat: cat, ph: 'X',
 		tsNs: int64(start), durNs: int64(end - start),
 		pid: pid, tid: tid, args: args,
 	})
+}
+
+// nameAux emits naming + ordering metadata for an auxiliary lane the
+// first time it is used within a job, so Perfetto renders "server
+// node N" / "nic node N" rows grouped after the rank rows instead of
+// anonymous numeric tids.
+func (t *Tracer) nameAux(pid, tid int) {
+	key := int64(pid)<<32 | int64(tid)
+	if t.named[key] {
+		return
+	}
+	if t.named == nil {
+		t.named = make(map[int64]bool)
+	}
+	t.named[key] = true
+	var name string
+	var sort int
+	if tid >= nicLaneBase {
+		node := tid - nicLaneBase
+		name = fmt.Sprintf("nic node %d", node)
+		sort = 200000 + node
+	} else {
+		node := tid - serverLaneBase
+		name = fmt.Sprintf("server node %d", node)
+		sort = 100000 + node
+	}
+	t.events = append(t.events,
+		traceEvent{
+			name: "thread_name", ph: 'M', pid: pid, tid: tid,
+			args: []Arg{{Key: "name", Val: name}},
+		},
+		traceEvent{
+			name: "thread_sort_index", ph: 'M', pid: pid, tid: tid,
+			args: []Arg{{Key: "sort_index", Val: sort}},
+		})
 }
 
 func (t *Tracer) instant(pid, tid int, cat, name string, at sim.Time, args []Arg) {
@@ -67,10 +112,15 @@ func (t *Tracer) meta(pid int, label string, nranks int) {
 		args: []Arg{{Key: "name", Val: label}},
 	})
 	for i := 0; i < nranks; i++ {
-		t.events = append(t.events, traceEvent{
-			name: "thread_name", ph: 'M', pid: pid, tid: i,
-			args: []Arg{{Key: "name", Val: fmt.Sprintf("rank %d", i)}},
-		})
+		t.events = append(t.events,
+			traceEvent{
+				name: "thread_name", ph: 'M', pid: pid, tid: i,
+				args: []Arg{{Key: "name", Val: fmt.Sprintf("rank %d", i)}},
+			},
+			traceEvent{
+				name: "thread_sort_index", ph: 'M', pid: pid, tid: i,
+				args: []Arg{{Key: "sort_index", Val: i}},
+			})
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"testing"
 
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,63 @@ func TestDisabledRecorderAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestDisabledProfilerAllocatesNothing pins the disabled-profiler cost
+// to zero heap allocations: a nil *profile.Profiler is what every hook
+// site holds when -profile is off, and each method must return before
+// touching any state.
+func TestDisabledProfilerAllocatesNothing(t *testing.T) {
+	r := New(Options{}) // no Profile: Prof() returns nil
+	pr := r.Prof()
+	if pr != nil {
+		t.Fatal("recorder without Options.Profile returned a profiler")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pr.Begin(0, profile.OpPut)
+		pr.PhaseAt(0, profile.PhaseWire, 0, 5)
+		pr.Send(0, 1, profile.MsgPut, profile.RouteRMA, 64)
+		pr.Recv(0, 1, profile.MsgPut, profile.RouteRMA, 64)
+		pr.Link(0, 64, 1, 2, 3)
+		pr.End(0)
+		_ = pr.InScope(0)
+	})
+	if allocs != 0 {
+		t.Errorf("nil profiler allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestProfilerRecordPathAllocatesNothing pins the enabled profiler's
+// steady-state record cycle to zero allocations once its lazily-grown
+// tables are warm. Histograms, matrix cells, and link stats allocate on
+// first touch only; every subsequent operation must be free.
+func TestProfilerRecordPathAllocatesNothing(t *testing.T) {
+	r := New(Options{Profile: true})
+	r.BeginJob("job", fixedClock(0), 4)
+	pr := r.Prof()
+	if pr == nil {
+		t.Fatal("recorder with Options.Profile returned nil profiler")
+	}
+	// Warm every table the cycle touches.
+	pr.Begin(1, profile.OpGet)
+	pr.PhaseAt(1, profile.PhaseLockWait, 0, 5)
+	pr.PhaseAt(1, profile.PhaseWire, 5, 9)
+	pr.Send(1, 2, profile.MsgGet, profile.RouteRMA, 128)
+	pr.Recv(1, 2, profile.MsgGet, profile.RouteRMA, 128)
+	pr.Link(0, 128, 1, 2, 3)
+	pr.End(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		pr.Begin(1, profile.OpGet)
+		pr.PhaseAt(1, profile.PhaseLockWait, 0, 5)
+		pr.PhaseAt(1, profile.PhaseWire, 5, 9)
+		pr.Send(1, 2, profile.MsgGet, profile.RouteRMA, 128)
+		pr.Recv(1, 2, profile.MsgGet, profile.RouteRMA, 128)
+		pr.Link(0, 128, 1, 2, 3)
+		pr.End(1)
+	})
+	if allocs != 0 {
+		t.Errorf("warm profiler record cycle allocated %.1f per run, want 0", allocs)
 	}
 }
 
