@@ -9,6 +9,7 @@
 //	armci-bench -fig 5 [-quick]
 //	armci-bench -fig ablation-shm [-platform ...] [-quick]
 //	armci-bench -fig ablation-nbfanout [-platform ...] [-quick]
+//	armci-bench -fig ablation-locality [-platform ...] [-quick]
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
 //	armci-bench -fig wallclock
@@ -30,6 +31,9 @@
 //	-batch n            batched-method operations per epoch (0 = unlimited)
 //	-strided-method m   conservative, batched, iov-direct, direct, or auto
 //	-iov-method m       same names, for PutV/GetV/AccV
+//	-runtime name       add this ARMCI runtime as an extra series to the
+//	                    Figure 3 comparison (native, armci-mpi, armci-ds,
+//	                    or dartmpi)
 //
 // Observability (figure sweeps 3, 4, and 5):
 //
@@ -57,6 +61,7 @@ import (
 
 	"repro/internal/armcimpi"
 	"repro/internal/bench"
+	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/platform"
 )
@@ -73,8 +78,19 @@ func main() {
 	batch := flag.Int("batch", -1, "batched-method operations per epoch (0 = unlimited; -1 = default)")
 	stridedMethod := flag.String("strided-method", "", "strided transfer method (conservative, batched, iov-direct, direct, auto)")
 	iovMethod := flag.String("iov-method", "", "I/O vector transfer method (conservative, batched, iov-direct, auto)")
+	runtimeName := flag.String("runtime", "",
+		fmt.Sprintf("extra ARMCI runtime series for the Figure 3 comparison (%s)",
+			strings.Join(harness.ImplNames(), ", ")))
 	flag.Parse()
 
+	if *runtimeName != "" {
+		impl, err := harness.ParseImpl(*runtimeName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "armci-bench:", err)
+			os.Exit(1)
+		}
+		bench.ExtraImpls = append(bench.ExtraImpls, impl)
+	}
 	if err := installTweak(*batch, *stridedMethod, *iovMethod); err != nil {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
@@ -143,7 +159,7 @@ func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, json
 		}
 	}
 	switch fig {
-	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablations", "table2", "wallclock", "all":
+	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablation-locality", "ablations", "table2", "wallclock", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -337,6 +353,33 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 			return err
 		}
 		if fig == "ablation-nbfanout" {
+			return nil
+		}
+	}
+	if fig == "ablation-locality" || fig == "all" {
+		cfg := bench.DefaultLocalityAblation()
+		if quick {
+			cfg = bench.QuickLocalityAblation()
+		}
+		cfg.Obs = rec
+		// Default to InfiniBand (the platform the dartmpi same-node
+		// acceptance criterion is stated on); -platform selects another.
+		name := plat
+		if name == "" {
+			name = platform.InfiniBand
+		}
+		p, err := platform.Lookup(name)
+		if err != nil {
+			return err
+		}
+		f, err := bench.AblationLocality(p, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(f, jsonDir); err != nil {
+			return err
+		}
+		if fig == "ablation-locality" {
 			return nil
 		}
 	}

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native or armci-mpi")
+	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native, armci-mpi, armci-ds, or dartmpi")
 	np := flag.Int("np", 8, "number of simulated processes")
 	tasks := flag.Int("tasks", 200, "number of tasks in the bag")
 	mpi3 := flag.Bool("mpi3", false, "use MPI-3 fetch-and-op for the counter (armci-mpi only)")

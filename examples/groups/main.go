@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native or armci-mpi")
+	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native, armci-mpi, armci-ds, or dartmpi")
 	np := flag.Int("np", 12, "number of simulated processes")
 	platName := flag.String("platform", platform.InfiniBand, "simulated platform")
 	flag.Parse()

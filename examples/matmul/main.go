@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native or armci-mpi")
+	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native, armci-mpi, armci-ds, or dartmpi")
 	np := flag.Int("np", 16, "number of simulated processes")
 	n := flag.Int("n", 96, "matrix dimension")
 	blk := flag.Int("blk", 24, "tile size")

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native or armci-mpi")
+	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native, armci-mpi, armci-ds, or dartmpi")
 	np := flag.Int("np", 8, "number of simulated processes")
 	platName := flag.String("platform", platform.InfiniBand, "simulated platform")
 	flag.Parse()

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native or armci-mpi")
+	implFlag := flag.String("impl", "armci-mpi", "ARMCI implementation: native, armci-mpi, armci-ds, or dartmpi")
 	method := flag.String("method", "direct", "strided method for armci-mpi: direct, iov-direct, batched, conservative")
 	np := flag.Int("np", 8, "number of simulated processes")
 	n := flag.Int("n", 128, "matrix dimension")

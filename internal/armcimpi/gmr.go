@@ -96,8 +96,19 @@ type Options struct {
 	// NoShm disables the intra-node shared-memory fast path: GMR and
 	// mutex windows are created with plain MPI_Win_create instead of
 	// the Win_allocate_shared flavor, forcing same-node traffic through
-	// the RMA path (the ablation baseline).
+	// the RMA path (the ablation baseline). The dartmpi runtime honors
+	// it too: its same-node tier collapses onto the RMA path so the
+	// ablation switch means the same thing in every runtime.
 	NoShm bool
+	// NoLeaderStaging disables dartmpi's hierarchical put/get: large
+	// remote transfers go straight to the wire instead of staging
+	// through the node-leader rank (the locality-ablation toggle).
+	// Ignored by the other runtimes.
+	NoLeaderStaging bool
+	// StageThreshold is the minimum remote transfer size, in bytes,
+	// that dartmpi stages through the node leader; 0 selects the
+	// default (8 KiB). Ignored by the other runtimes.
+	StageThreshold int
 }
 
 // DefaultOptions returns the paper's default configuration.

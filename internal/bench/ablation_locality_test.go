@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestLocalityAblationSameNodeWin is the figure's acceptance criterion:
+// for same-node targets the dartmpi tier classifier must beat the
+// pure-RMA armci-mpi flavor at every size (it turns those transfers
+// into shared-segment copies instead of loopback RMA).
+func TestLocalityAblationSameNodeWin(t *testing.T) {
+	ib := platform.Get(platform.InfiniBand)
+	fig, err := AblationLocality(ib, QuickLocalityAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"put", "get"} {
+		dart := fig.Get("intra " + op + " (dartmpi)")
+		rma := fig.Get("intra " + op + " (armci-mpi rma)")
+		if dart == nil || rma == nil {
+			t.Fatalf("missing intra-node %s series", op)
+		}
+		for i := range dart.Y {
+			if dart.Y[i] <= rma.Y[i] {
+				t.Errorf("intra-node %s: dartmpi (%.4f) not faster than armci-mpi rma (%.4f) at %v bytes",
+					op, dart.Y[i], rma.Y[i], dart.X[i])
+			}
+		}
+	}
+}
+
+// TestLocalityAblationStagingToggle asserts the hierarchical path's
+// ablation switch actually changes the cross-node curves above the
+// staging threshold: a non-leader origin's large transfers take a
+// different route with staging on vs off, while below the threshold
+// the pair coincides.
+func TestLocalityAblationStagingToggle(t *testing.T) {
+	ib := platform.Get(platform.InfiniBand)
+	fig, err := AblationLocality(ib, QuickLocalityAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"put", "get"} {
+		on := fig.Get("inter " + op + " (dartmpi)")
+		off := fig.Get("inter " + op + " (dartmpi nostage)")
+		if on == nil || off == nil {
+			t.Fatalf("missing inter-node %s series", op)
+		}
+		var diverged bool
+		for i := range on.Y {
+			if on.X[i] < 8192 && on.Y[i] != off.Y[i] {
+				t.Errorf("inter-node %s: staging toggle changed a sub-threshold size %v (%v vs %v)",
+					op, on.X[i], on.Y[i], off.Y[i])
+			}
+			if on.X[i] >= 8192 && on.Y[i] != off.Y[i] {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("inter-node %s: staging toggle changed nothing above the threshold", op)
+		}
+	}
+}
+
+// TestLocalityAblationDeterministic reruns the quick sweep and demands
+// bit-identical output, which is what lets CI byte-compare the
+// committed BENCH_ablation-locality.json artifact.
+func TestLocalityAblationDeterministic(t *testing.T) {
+	ib := platform.Get(platform.InfiniBand)
+	a, err := AblationLocality(ib, QuickLocalityAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationLocality(ib, QuickLocalityAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series count differs: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		sa, sb := a.Series[i], b.Series[i]
+		if sa.Label != sb.Label || len(sa.Y) != len(sb.Y) {
+			t.Fatalf("series %d shape differs", i)
+		}
+		for k := range sa.Y {
+			if sa.X[k] != sb.X[k] || sa.Y[k] != sb.Y[k] {
+				t.Errorf("%s: rerun diverges at point %d", sa.Label, k)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationLocality(b *testing.B) {
+	ib := platform.Get(platform.InfiniBand)
+	cfg := QuickLocalityAblation()
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationLocality(ib, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -109,10 +109,16 @@ func doContig(rt armci.Runtime, op ContigOp, local, remote armci.Addr, size int)
 }
 
 func implShort(impl harness.Impl) string {
-	if impl == harness.ImplNative {
+	switch impl {
+	case harness.ImplNative:
 		return "Nat."
+	case harness.ImplDataServer:
+		return "DS"
+	case harness.ImplDartMPI:
+		return "DART"
+	default:
+		return "MPI"
 	}
-	return "MPI"
 }
 
 // Fig3 regenerates one platform's panel of Figure 3: get/put/acc
@@ -124,7 +130,13 @@ func Fig3(plat *platform.Platform, cfg Fig3Config) (*Figure, error) {
 		XLabel: "transfer size (bytes)",
 		YLabel: "bandwidth (GB/s)",
 	}
-	for _, impl := range []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI} {
+	impls := []harness.Impl{harness.ImplNative, harness.ImplARMCIMPI}
+	for _, extra := range ExtraImpls {
+		if extra != harness.ImplNative && extra != harness.ImplARMCIMPI {
+			impls = append(impls, extra)
+		}
+	}
+	for _, impl := range impls {
 		for _, op := range []ContigOp{OpGet, OpPut, OpAcc} {
 			s, err := ContigBandwidth(plat, impl, op, cfg)
 			if err != nil {

@@ -1,6 +1,9 @@
 package bench
 
-import "repro/internal/armcimpi"
+import (
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+)
 
 // Tweak, when non-nil, is applied to every runtime Options value the
 // bench harnesses construct. cmd/armci-bench installs it to expose
@@ -9,6 +12,13 @@ import "repro/internal/armcimpi"
 // fields (NoShm, UseMPI3, ...) do so after the hook runs, so a sweep's
 // own axis always wins over the command-line override.
 var Tweak func(*armcimpi.Options)
+
+// ExtraImpls, when non-empty, adds these runtimes as extra series to
+// the Figure 3 contiguous-bandwidth comparison (beyond the paper's
+// native vs ARMCI-MPI pair). cmd/armci-bench installs it from the
+// -runtime flag; duplicates of the built-in pair are skipped. Empty by
+// default, so the guarded BENCH artifacts are unaffected.
+var ExtraImpls []harness.Impl
 
 // benchOptions is DefaultOptions plus the process-wide Tweak hook.
 func benchOptions() armcimpi.Options {

@@ -93,8 +93,11 @@ func profRun(t *testing.T, impl harness.Impl, opt armcimpi.Options) *obs.Recorde
 
 // profConfigs enumerates the runtime configurations the profiler must
 // hold its invariants on: the paper's MPI-2 design and the MPI-3
-// extension, each with the shm fast path on and off, plus the
-// two-sided data-server baseline.
+// extension, each with the shm fast path on and off, the two-sided
+// data-server baseline, and the dartmpi locality runtime across shm
+// on/off x leader-staging on/off (the staged configurations lower the
+// threshold so the workload's cross-node transfers exercise the
+// leader.queue/leader.copy phases).
 func profConfigs() []struct {
 	name string
 	impl harness.Impl
@@ -107,6 +110,14 @@ func profConfigs() []struct {
 	mpi3.UseMPI3 = true
 	mpi3noshm := mpi3
 	mpi3noshm.NoShm = true
+	dart := armcimpi.DefaultOptions()
+	dart.StageThreshold = 512
+	dartNostage := armcimpi.DefaultOptions()
+	dartNostage.NoLeaderStaging = true
+	dartNoshm := dart
+	dartNoshm.NoShm = true
+	dartNoshmNostage := dartNostage
+	dartNoshmNostage.NoShm = true
 	return []struct {
 		name string
 		impl harness.Impl
@@ -117,6 +128,10 @@ func profConfigs() []struct {
 		{"mpi3-shm", harness.ImplARMCIMPI, mpi3},
 		{"mpi3-noshm", harness.ImplARMCIMPI, mpi3noshm},
 		{"dataserver", harness.ImplDataServer, armcimpi.DefaultOptions()},
+		{"dart-shm-stage", harness.ImplDartMPI, dart},
+		{"dart-shm-nostage", harness.ImplDartMPI, dartNostage},
+		{"dart-noshm-stage", harness.ImplDartMPI, dartNoshm},
+		{"dart-noshm-nostage", harness.ImplDartMPI, dartNoshmNostage},
 	}
 }
 
@@ -155,6 +170,38 @@ func TestProfilePhaseSumsMatchLatency(t *testing.T) {
 				t.Errorf("only %d op classes recorded; workload should hit at least put/get/acc/puts/rmw", sawOps)
 			}
 		})
+	}
+}
+
+// TestProfileLeaderPhasesAttributed pins the new leader.* phases to the
+// hierarchical path: with staging on (low threshold) the workload's
+// cross-node transfers from non-leader ranks must attribute leader.copy
+// time, and with staging off the leader phases must stay empty.
+func TestProfileLeaderPhasesAttributed(t *testing.T) {
+	staged := armcimpi.DefaultOptions()
+	staged.StageThreshold = 512
+	pr := profRun(t, harness.ImplDartMPI, staged).Prof()
+	var copyNs int64
+	for op := profile.Op(0); op < profile.NumOps; op++ {
+		for _, h := range pr.PhaseHists(op, profile.PhaseLeaderCopy) {
+			copyNs += h.SumNs
+		}
+	}
+	if copyNs == 0 {
+		t.Error("staging enabled but no leader.copy time attributed")
+	}
+
+	nostage := armcimpi.DefaultOptions()
+	nostage.NoLeaderStaging = true
+	pr = profRun(t, harness.ImplDartMPI, nostage).Prof()
+	for op := profile.Op(0); op < profile.NumOps; op++ {
+		for _, ph := range []profile.Phase{profile.PhaseLeaderQueue, profile.PhaseLeaderCopy} {
+			for _, h := range pr.PhaseHists(op, ph) {
+				if h.SumNs != 0 {
+					t.Errorf("%s/%s attributed %d ns with staging disabled", op, ph, h.SumNs)
+				}
+			}
+		}
 	}
 }
 

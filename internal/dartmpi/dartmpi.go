@@ -1,0 +1,342 @@
+// Package dartmpi is a locality-aware dual-window ARMCI runtime in the
+// style of DART-MPI ("DART-MPI: An MPI-based Implementation of a PGAS
+// Runtime System" and "Leveraging MPI-3 Shared-Memory Extensions for
+// Efficient PGAS Runtime Systems"). Where armcimpi treats every target
+// uniformly over MPI RMA, dartmpi allocates every ARMCI segment twice
+// over: once through the armcimpi GMR layer (the inter-node RMA window,
+// created with plain MPI_Win_create) and once as a node-local
+// MPI_Win_allocate_shared window spanning the ranks of the caller's
+// node. A translation table maps <rank, offset> to the right window,
+// and a per-target locality classifier picks a tier at plan time:
+//
+//	self      - direct load/store on the caller's own memory
+//	same-node - one shared-memory window epoch (lock, shm copy, unlock)
+//	remote    - the wrapped armcimpi runtime's RMA transfer plans
+//
+// Large remote transfers additionally stage through the node-leader
+// rank (hierarchical put/get): the leader aggregates same-destination
+// traffic behind a per-node staging pipe before the wire transfer,
+// modeled as a shared-memory copy into the leader's buffer plus
+// queueing behind the pipe, attributed to the profiler's leader.queue
+// and leader.copy phases.
+//
+// The remote tier delegates to an embedded armcimpi.Runtime whose
+// NoShm option is forced on, so the wire path is pure RMA and the
+// transfer-plan engine (strided/IOV compilation, batching, conflict
+// scanning) is reused rather than forked. Epoch, fence, mutex, RMW,
+// group, and access-mode semantics are the inner runtime's; the
+// near tiers complete remotely before returning, so the inner fence
+// discipline covers them for free.
+package dartmpi
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/obs/profile"
+	"repro/internal/sim"
+)
+
+// DefaultStageThreshold is the smallest remote transfer, in bytes,
+// staged through the node leader when Options.StageThreshold is 0.
+const DefaultStageThreshold = 8192
+
+// World is the shared state of the dartmpi job: the node-window
+// translation table plus the wrapped armcimpi world that owns the
+// inter-node RMA windows.
+type World struct {
+	Mpi   *mpi.World
+	Inner *armcimpi.World
+
+	allocs []*alloc
+	ids    map[int]*alloc
+	nextID int
+
+	// leaderBusy is the staging-pipe horizon of each node's leader
+	// rank: hierarchical transfers queue behind it.
+	leaderBusy []sim.Time
+
+	// Counters.
+	SelfOps     int64 // ops routed to the load-store tier
+	NodeOps     int64 // ops routed to the same-node shm tier
+	RemoteOps   int64 // ops routed to the inter-node RMA tier
+	Staged      int64 // remote transfers staged through the node leader
+	StagedBytes int64 // bytes copied through leader staging buffers
+}
+
+// alloc is one collective allocation's node-window record: the same
+// membership metadata armcimpi keeps for its GMR, plus each member's
+// handle of its node-local shared window.
+type alloc struct {
+	id       int
+	group    []int        // world ranks (ascending)
+	rankOf   map[int]int  // world rank -> group rank
+	addrs    []armci.Addr // base address per group rank (Nil if size 0)
+	sizes    []int
+	nodeWins map[int]*mpi.Win // per-world-rank handle of its node window
+}
+
+// NewWorld creates dartmpi state on an MPI world. The inner armcimpi
+// world shares the same MPI world, so collectives, observability, and
+// the fabric are common to both layers.
+func NewWorld(mw *mpi.World) *World {
+	cpn := mw.M.Par.CoresPerNode
+	nnodes := (mw.M.NRanks + cpn - 1) / cpn
+	return &World{
+		Mpi:        mw,
+		Inner:      armcimpi.NewWorld(mw),
+		ids:        map[int]*alloc{},
+		leaderBusy: make([]sim.Time, nnodes),
+	}
+}
+
+// find locates the allocation fully containing [addr, addr+n) and
+// returns its group rank for addr.Rank. Containment (not just base
+// membership) is required, so the near tiers can never overrun a
+// slice; out-of-range accesses fall through to the inner runtime,
+// which reports them with its usual diagnostics.
+func (w *World) find(addr armci.Addr, n int) (*alloc, int, bool) {
+	for _, a := range w.allocs {
+		gr, ok := a.rankOf[addr.Rank]
+		if !ok {
+			continue
+		}
+		base := a.addrs[gr]
+		if base.Nil() {
+			continue
+		}
+		if addr.VA >= base.VA && addr.VA+int64(n) <= base.VA+int64(a.sizes[gr]) {
+			return a, gr, true
+		}
+	}
+	return nil, 0, false
+}
+
+// findByBase locates the allocation whose slice on key.Rank starts
+// exactly at key.VA (the leader-election lookup during Free).
+func (w *World) findByBase(key armci.Addr) *alloc {
+	for _, a := range w.allocs {
+		if gr, ok := a.rankOf[key.Rank]; ok && a.addrs[gr] == key {
+			return a
+		}
+	}
+	return nil
+}
+
+func (w *World) register(a *alloc) {
+	a.id = w.nextID
+	w.nextID++
+	w.allocs = append(w.allocs, a)
+	w.ids[a.id] = a
+}
+
+func (w *World) unregister(a *alloc) {
+	for i, e := range w.allocs {
+		if e == a {
+			w.allocs = append(w.allocs[:i], w.allocs[i+1:]...)
+			break
+		}
+	}
+	delete(w.ids, a.id)
+}
+
+// Runtime is one rank's dartmpi handle.
+type Runtime struct {
+	W   *World
+	R   *mpi.Rank
+	Opt armcimpi.Options
+
+	inner *armcimpi.Runtime
+}
+
+// New creates the per-rank dartmpi runtime handle. The inner armcimpi
+// runtime gets the same options with NoShm forced on: the remote tier
+// must be pure RMA (dartmpi owns the shared-memory tier), and under
+// the user's own NoShm the whole runtime collapses onto that path.
+func New(w *World, r *mpi.Rank, opt armcimpi.Options) *Runtime {
+	innerOpt := opt
+	innerOpt.NoShm = true
+	return &Runtime{W: w, R: r, Opt: opt, inner: armcimpi.New(w.Inner, r, innerOpt)}
+}
+
+var _ armci.Runtime = (*Runtime)(nil)
+
+// Name identifies the implementation.
+func (r *Runtime) Name() string { return "dartmpi" }
+
+// Rank returns the calling world rank.
+func (r *Runtime) Rank() int { return r.R.ID() }
+
+// Nprocs returns the world size.
+func (r *Runtime) Nprocs() int { return r.W.Mpi.N }
+
+// Proc returns the simulation context.
+func (r *Runtime) Proc() *sim.Proc { return r.R.P }
+
+// obsRec returns the job's recorder (nil-safe methods when off).
+func (r *Runtime) obsRec() *obs.Recorder { return r.W.Mpi.Obs }
+
+// prof returns the job's profiler, or nil.
+func (r *Runtime) prof() *profile.Profiler { return r.W.Mpi.Obs.Prof() }
+
+// stageThreshold resolves the leader-staging cutoff.
+func (r *Runtime) stageThreshold() int {
+	if r.Opt.StageThreshold > 0 {
+		return r.Opt.StageThreshold
+	}
+	return DefaultStageThreshold
+}
+
+// Malloc collectively allocates globally accessible memory: the inner
+// GMR (inter-node RMA window) plus the node-local shared window.
+func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
+	addrs, err := r.inner.Malloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]int, r.Nprocs())
+	for i := range members {
+		members[i] = i
+	}
+	if err := r.attachNodeWin(r.R.CommWorld(), members, addrs[r.Rank()], bytes); err != nil {
+		return nil, err
+	}
+	return addrs, nil
+}
+
+// MallocGroup allocates over an ARMCI group.
+func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
+	addrs, err := r.inner.MallocGroup(g, bytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.attachNodeWin(armci.GroupCommOf(g), g.Ranks, addrs[g.RankOf(r.Rank())], bytes); err != nil {
+		return nil, err
+	}
+	return addrs, nil
+}
+
+// attachNodeWin creates the allocation's node-local shared window (the
+// second half of the dual-window pair) and enters it into the
+// translation table. Under NoShm the near tiers are disabled, so no
+// node window is created and every access rides the inner RMA path.
+func (r *Runtime) attachNodeWin(comm *mpi.Comm, members []int, myAddr armci.Addr, bytes int) error {
+	if r.Opt.NoShm {
+		return nil
+	}
+	m := r.W.Mpi.M
+	me := r.Rank()
+	// Split the allocation's communicator by node; ranks of one node
+	// form the shared window's group.
+	nodeComm := comm.Split(m.NodeOf(me), comm.Rank())
+	var reg *fabric.Region
+	var va int64
+	if bytes > 0 {
+		// Expose the memory the inner Malloc just allocated through the
+		// node window too (the dual-window pair shares one segment).
+		reg = m.Space(me).Find(myAddr.VA, bytes)
+		if reg == nil {
+			return fmt.Errorf("dartmpi: inner allocation region not found on rank %d", me)
+		}
+		va = myAddr.VA
+	}
+	win, err := mpi.WinCreateShared(nodeComm, reg)
+	if err != nil {
+		return err
+	}
+	// Exchange base addresses over the full allocation group so every
+	// member holds identical translation metadata.
+	vas := comm.AllgatherI64([]int64{va, int64(bytes)})
+	var id int
+	if comm.Rank() == 0 {
+		a := &alloc{
+			group:    append([]int(nil), members...),
+			rankOf:   map[int]int{},
+			addrs:    make([]armci.Addr, len(members)),
+			sizes:    make([]int, len(members)),
+			nodeWins: map[int]*mpi.Win{},
+		}
+		for i, world := range members {
+			a.rankOf[world] = i
+			a.sizes[i] = int(vas[2*i+1])
+			if a.sizes[i] > 0 {
+				a.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+			}
+		}
+		r.W.register(a)
+		id = a.id
+	}
+	id = int(comm.BcastI64(0, []int64{int64(id)})[0])
+	r.W.ids[id].nodeWins[me] = win
+	comm.Barrier()
+	return nil
+}
+
+// Free collectively releases a world allocation.
+func (r *Runtime) Free(addr armci.Addr) error {
+	return r.freeOn(r.R.CommWorld(), addr, func() error { return r.inner.Free(addr) })
+}
+
+// FreeGroup releases a group allocation.
+func (r *Runtime) FreeGroup(g *armci.Group, addr armci.Addr) error {
+	if g == nil {
+		return fmt.Errorf("dartmpi: FreeGroup with nil group")
+	}
+	return r.freeOn(armci.GroupCommOf(g), addr, func() error { return r.inner.FreeGroup(g, addr) })
+}
+
+// freeOn tears down the node window first (its group is a sub-set of
+// the allocation's, and the inner Free releases the backing memory),
+// then delegates. The leader election mirrors armcimpi's so members
+// holding a Nil address still find the allocation.
+func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr, innerFree func() error) error {
+	if r.Opt.NoShm {
+		return innerFree()
+	}
+	mine := int64(-1)
+	if !addr.Nil() {
+		mine = int64(r.Rank())
+	}
+	red := comm.AllreduceI64(mpi.OpMax, []int64{mine})
+	leader := int(red[0])
+	if leader < 0 {
+		return fmt.Errorf("dartmpi: Free: all processes passed NULL")
+	}
+	var hdr []int64
+	if r.Rank() == leader {
+		hdr = []int64{addr.VA}
+	} else {
+		hdr = make([]int64, 1)
+	}
+	hdr = comm.BcastI64(comm.RankOfWorld(leader), hdr)
+	key := armci.Addr{Rank: leader, VA: hdr[0]}
+	a := r.W.findByBase(key)
+	if a == nil {
+		return fmt.Errorf("dartmpi: Free(%v): no allocation for leader address", key)
+	}
+	if win := a.nodeWins[r.Rank()]; win != nil {
+		if err := win.Free(); err != nil {
+			return err
+		}
+	}
+	comm.Barrier()
+	if comm.Rank() == 0 {
+		r.W.unregister(a)
+	}
+	return innerFree()
+}
+
+// MallocLocal allocates local buffer memory via the inner runtime.
+func (r *Runtime) MallocLocal(bytes int) armci.Addr { return r.inner.MallocLocal(bytes) }
+
+// FreeLocal releases local buffer memory.
+func (r *Runtime) FreeLocal(addr armci.Addr) error { return r.inner.FreeLocal(addr) }
+
+// LocalBytes exposes the raw bytes of a local buffer.
+func (r *Runtime) LocalBytes(addr armci.Addr, n int) ([]byte, error) {
+	return r.inner.LocalBytes(addr, n)
+}

@@ -1,0 +1,57 @@
+package dartmpi
+
+import (
+	"repro/internal/armci"
+)
+
+// The synchronization, atomic, group, and access-mode surface
+// delegates to the inner armcimpi runtime. The near tiers need no
+// extra fencing: every self/same-node operation is remotely complete
+// before it returns (the shm epoch's unlock waits for the copy), so
+// the inner runtime's pending-operation tracking already covers
+// everything Fence must complete.
+
+// Fence ensures remote completion of prior operations to proc.
+func (r *Runtime) Fence(proc int) { r.inner.Fence(proc) }
+
+// AllFence fences every target.
+func (r *Runtime) AllFence() { r.inner.AllFence() }
+
+// Barrier synchronizes all processes and fences all communication.
+func (r *Runtime) Barrier() { r.inner.Barrier() }
+
+// Rmw performs an atomic read-modify-write on the int64 at addr,
+// through the inner runtime's mutex-protected (MPI-2) or fetch-and-op
+// (MPI-3) path — both windows expose the same memory, so atomics and
+// near-tier transfers observe the same bytes.
+func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, error) {
+	return r.inner.Rmw(op, addr, operand)
+}
+
+// CreateMutexes collectively creates n mutexes hosted on the caller.
+func (r *Runtime) CreateMutexes(n int) (armci.Mutexes, error) {
+	return r.inner.CreateMutexes(n)
+}
+
+// AccessBegin opens a direct-local-access section.
+func (r *Runtime) AccessBegin(addr armci.Addr, n int) ([]byte, error) {
+	return r.inner.AccessBegin(addr, n)
+}
+
+// AccessEnd closes a direct-local-access section.
+func (r *Runtime) AccessEnd(addr armci.Addr) error { return r.inner.AccessEnd(addr) }
+
+// SetAccessMode applies an access-mode hint to an allocation.
+func (r *Runtime) SetAccessMode(mode armci.AccessMode, addr armci.Addr) error {
+	return r.inner.SetAccessMode(mode, addr)
+}
+
+// GroupCreateCollective creates a group from world ranks.
+func (r *Runtime) GroupCreateCollective(members []int) (*armci.Group, error) {
+	return r.inner.GroupCreateCollective(members)
+}
+
+// GroupCreate creates a group noncollectively (members only).
+func (r *Runtime) GroupCreate(members []int) (*armci.Group, error) {
+	return r.inner.GroupCreate(members)
+}

@@ -1,0 +1,180 @@
+package dartmpi
+
+import (
+	"repro/internal/armci"
+	"repro/internal/obs/profile"
+)
+
+// doneHandle is the handle of a near-tier nonblocking operation: the
+// shared-memory tiers complete synchronously, so the blocking twin
+// runs at issue and the handle is born complete (ARMCI permits
+// immediate completion of nonblocking calls).
+type doneHandle struct{}
+
+func (doneHandle) Wait() {}
+
+// Test reports local completion without blocking (armci.Tester).
+func (doneHandle) Test() bool { return true }
+
+// NbPut issues a nonblocking put: near tiers complete at issue, the
+// remote tier delegates to the inner runtime's request machinery.
+func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbPut)
+		defer pr.End(r.Rank())
+	}
+	if src.Rank == r.Rank() {
+		if t, _, _ := r.classify(dst, n); t != tierRemote {
+			if err := r.Put(src, dst, n); err != nil {
+				return nil, err
+			}
+			return doneHandle{}, nil
+		}
+	}
+	r.count(tierRemote)
+	r.stage(dst.Rank, n)
+	return r.inner.NbPut(src, dst, n)
+}
+
+// NbGet issues a nonblocking get.
+func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbGet)
+		defer pr.End(r.Rank())
+	}
+	if dst.Rank == r.Rank() {
+		if t, _, _ := r.classify(src, n); t != tierRemote {
+			if err := r.Get(src, dst, n); err != nil {
+				return nil, err
+			}
+			return doneHandle{}, nil
+		}
+	}
+	r.count(tierRemote)
+	r.stage(src.Rank, n)
+	return r.inner.NbGet(src, dst, n)
+}
+
+// NbAcc issues a nonblocking accumulate.
+func (r *Runtime) NbAcc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbAcc)
+		defer pr.End(r.Rank())
+	}
+	if src.Rank == r.Rank() {
+		if t, _, _ := r.classify(dst, n); t != tierRemote {
+			if err := r.Acc(op, scale, src, dst, n); err != nil {
+				return nil, err
+			}
+			return doneHandle{}, nil
+		}
+	}
+	r.count(tierRemote)
+	r.stage(dst.Rank, n)
+	return r.inner.NbAcc(op, scale, src, dst, n)
+}
+
+// NbPutS issues a nonblocking strided put.
+func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbPutS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Src.Rank == r.Rank() && r.nearRank(s.Dst.Rank) {
+		if err := r.PutS(s); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(s.Dst.Rank, s.TotalBytes())
+	return r.inner.NbPutS(s)
+}
+
+// NbGetS issues a nonblocking strided get.
+func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbGetS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Dst.Rank == r.Rank() && r.nearRank(s.Src.Rank) {
+		if err := r.GetS(s); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(s.Src.Rank, s.TotalBytes())
+	return r.inner.NbGetS(s)
+}
+
+// NbAccS issues a nonblocking strided accumulate.
+func (r *Runtime) NbAccS(op armci.AccOp, scale float64, s *armci.Strided) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbAccS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Src.Rank == r.Rank() && r.nearRank(s.Dst.Rank) {
+		if err := r.AccS(op, scale, s); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(s.Dst.Rank, s.TotalBytes())
+	return r.inner.NbAccS(op, scale, s)
+}
+
+// NbPutV issues a nonblocking vector put.
+func (r *Runtime) NbPutV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbPutV)
+		defer pr.End(r.Rank())
+	}
+	if r.nearRank(proc) {
+		if err := r.PutV(iov, proc); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(proc, iovBytes(iov))
+	return r.inner.NbPutV(iov, proc)
+}
+
+// NbGetV issues a nonblocking vector get.
+func (r *Runtime) NbGetV(iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbGetV)
+		defer pr.End(r.Rank())
+	}
+	if r.nearRank(proc) {
+		if err := r.GetV(iov, proc); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(proc, iovBytes(iov))
+	return r.inner.NbGetV(iov, proc)
+}
+
+// NbAccV issues a nonblocking vector accumulate.
+func (r *Runtime) NbAccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpNbAccV)
+		defer pr.End(r.Rank())
+	}
+	if r.nearRank(proc) {
+		if err := r.AccV(op, scale, iov, proc); err != nil {
+			return nil, err
+		}
+		return doneHandle{}, nil
+	}
+	r.stage(proc, iovBytes(iov))
+	return r.inner.NbAccV(op, scale, iov, proc)
+}

@@ -1,0 +1,167 @@
+package dartmpi
+
+import (
+	"repro/internal/armci"
+	"repro/internal/obs/profile"
+)
+
+// nearRank reports whether rank's memory is reachable through the
+// near tiers (load/store or the node shared window).
+func (r *Runtime) nearRank(rank int) bool {
+	return !r.Opt.NoShm && (rank == r.Rank() || r.W.Mpi.M.SameNode(r.Rank(), rank))
+}
+
+// iovBytes sums a vector descriptor's payload.
+func iovBytes(iov []armci.GIOV) int {
+	n := 0
+	for i := range iov {
+		n += len(iov[i].Src) * iov[i].Bytes
+	}
+	return n
+}
+
+// Strided and IOV operations route whole descriptors: a near remote
+// side re-enters the contiguous tier path per segment (each segment is
+// one cheap shm epoch and re-classifies, so segments falling outside
+// the node-window table still reach the inner runtime); a far remote
+// side hands the descriptor wholesale to the inner transfer-plan
+// engine, which keeps its batching, datatype, and conflict-scan
+// machinery intact.
+
+// PutS performs a strided put.
+func (r *Runtime) PutS(s *armci.Strided) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpPutS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Src.Rank != r.Rank() || !r.nearRank(s.Dst.Rank) {
+		r.stage(s.Dst.Rank, s.TotalBytes())
+		return r.inner.PutS(s)
+	}
+	var err error
+	s.Iterate(func(so, do int) {
+		if err == nil {
+			err = r.Put(s.Src.Add(so), s.Dst.Add(do), s.SegBytes())
+		}
+	})
+	return err
+}
+
+// GetS performs a strided get.
+func (r *Runtime) GetS(s *armci.Strided) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpGetS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Dst.Rank != r.Rank() || !r.nearRank(s.Src.Rank) {
+		r.stage(s.Src.Rank, s.TotalBytes())
+		return r.inner.GetS(s)
+	}
+	var err error
+	s.Iterate(func(so, do int) {
+		if err == nil {
+			err = r.Get(s.Src.Add(so), s.Dst.Add(do), s.SegBytes())
+		}
+	})
+	return err
+}
+
+// AccS performs a strided accumulate.
+func (r *Runtime) AccS(op armci.AccOp, scale float64, s *armci.Strided) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpAccS)
+		defer pr.End(r.Rank())
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Src.Rank != r.Rank() || !r.nearRank(s.Dst.Rank) {
+		r.stage(s.Dst.Rank, s.TotalBytes())
+		return r.inner.AccS(op, scale, s)
+	}
+	var err error
+	s.Iterate(func(so, do int) {
+		if err == nil {
+			err = r.Acc(op, scale, s.Src.Add(so), s.Dst.Add(do), s.SegBytes())
+		}
+	})
+	return err
+}
+
+// PutV performs a generalized I/O vector put to proc.
+func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpPutV)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.ValidateIOV(iov, proc, false); err != nil {
+		return err
+	}
+	if !r.nearRank(proc) {
+		r.stage(proc, iovBytes(iov))
+		return r.inner.PutV(iov, proc)
+	}
+	for i := range iov {
+		v := &iov[i]
+		for j := range v.Src {
+			if err := r.Put(v.Src[j], v.Dst[j], v.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GetV performs a generalized I/O vector get from proc.
+func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpGetV)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.ValidateIOV(iov, proc, true); err != nil {
+		return err
+	}
+	if !r.nearRank(proc) {
+		r.stage(proc, iovBytes(iov))
+		return r.inner.GetV(iov, proc)
+	}
+	for i := range iov {
+		v := &iov[i]
+		for j := range v.Src {
+			if err := r.Get(v.Src[j], v.Dst[j], v.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AccV performs a generalized I/O vector accumulate to proc.
+func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpAccV)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.ValidateIOV(iov, proc, false); err != nil {
+		return err
+	}
+	if !r.nearRank(proc) {
+		r.stage(proc, iovBytes(iov))
+		return r.inner.AccV(op, scale, iov, proc)
+	}
+	for i := range iov {
+		v := &iov[i]
+		for j := range v.Src {
+			if err := r.Acc(op, scale, v.Src[j], v.Dst[j], v.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package dartmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/armci"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/obs/profile"
+)
+
+// tier is the locality class the classifier assigns to one access.
+type tier int
+
+const (
+	tierRemote tier = iota // inter-node: the inner runtime's RMA plans
+	tierSelf               // caller's own memory: direct load/store
+	tierNode               // same node: shared-window epoch
+)
+
+// classify resolves the locality tier of a global access of n bytes at
+// addr. Anything the node-window table cannot fully contain — foreign
+// allocations, overruns, zero-size, non-members of the allocation's
+// node window — rides the remote tier, whose inner runtime owns the
+// error reporting. Under NoShm every access is remote, collapsing the
+// runtime onto the pure-RMA path.
+func (r *Runtime) classify(addr armci.Addr, n int) (tier, *alloc, int) {
+	if r.Opt.NoShm || n <= 0 {
+		return tierRemote, nil, 0
+	}
+	me := r.Rank()
+	m := r.W.Mpi.M
+	if addr.Rank != me && !m.SameNode(me, addr.Rank) {
+		return tierRemote, nil, 0
+	}
+	a, gr, ok := r.W.find(addr, n)
+	if !ok {
+		return tierRemote, nil, 0
+	}
+	win := a.nodeWins[me]
+	if win == nil || win.Comm().RankOfWorld(addr.Rank) < 0 {
+		return tierRemote, nil, 0
+	}
+	if addr.Rank == me {
+		return tierSelf, a, gr
+	}
+	return tierNode, a, gr
+}
+
+// count tallies one primitive operation's routing decision.
+func (r *Runtime) count(t tier) {
+	o := r.obsRec()
+	switch t {
+	case tierSelf:
+		r.W.SelfOps++
+		o.Inc(r.Rank(), obs.CDartSelf)
+	case tierNode:
+		r.W.NodeOps++
+		o.Inc(r.Rank(), obs.CDartNode)
+	default:
+		r.W.RemoteOps++
+		o.Inc(r.Rank(), obs.CDartRemote)
+	}
+}
+
+// stage models the hierarchical path for one remote transfer: a
+// non-leader origin copies the payload into its node leader's staging
+// buffer (one shared-memory copy) and queues behind the per-node
+// staging pipe before the wire transfer the inner runtime issues.
+// Leaders and same-node targets bypass it, as do transfers under the
+// threshold and both ablation switches.
+func (r *Runtime) stage(target, n int) {
+	if r.Opt.NoShm || r.Opt.NoLeaderStaging || n < r.stageThreshold() {
+		return
+	}
+	m := r.W.Mpi.M
+	me := r.Rank()
+	if target < 0 || target >= m.NRanks || m.SameNode(me, target) {
+		return
+	}
+	node := m.NodeOf(me)
+	if me == node*m.Par.CoresPerNode {
+		return // the leader sends directly
+	}
+	p := r.R.P
+	pr := r.prof()
+	t0 := p.Now()
+	if b := r.W.leaderBusy[node]; b > t0 {
+		m.SleepUntil(p, b)
+		pr.PhaseAt(me, profile.PhaseLeaderQueue, t0, p.Now())
+	}
+	c0 := p.Now()
+	m.ShmCopy(p, n)
+	pr.PhaseAt(me, profile.PhaseLeaderCopy, c0, p.Now())
+	r.W.leaderBusy[node] = p.Now()
+	r.W.Staged++
+	r.W.StagedBytes += int64(n)
+	o := r.obsRec()
+	o.Inc(me, obs.CDartStaged)
+	o.Add(me, obs.CDartStagedBytes, int64(n))
+}
+
+// localRegion resolves an address on the calling rank to its region.
+func (r *Runtime) localRegion(addr armci.Addr, n int) (*fabric.Region, error) {
+	reg := r.W.Mpi.M.Space(r.Rank()).Find(addr.VA, n)
+	if reg == nil {
+		return nil, fmt.Errorf("dartmpi: local address %v (+%d) not in any allocation", addr, n)
+	}
+	return reg, nil
+}
+
+// selfCopy is the load-store tier: both sides live on the calling
+// rank, so the transfer is one local memcpy.
+func (r *Runtime) selfCopy(src, dst armci.Addr, n int) error {
+	sreg, err := r.localRegion(src, n)
+	if err != nil {
+		return err
+	}
+	dreg, err := r.localRegion(dst, n)
+	if err != nil {
+		return err
+	}
+	r.W.Mpi.M.CopyLocal(r.R.P, n)
+	copy(dreg.Bytes(dst.VA, n), sreg.Bytes(src.VA, n))
+	return nil
+}
+
+// nodeWin resolves the node window and the target's window rank and
+// displacement for a node-tier access (classify already proved
+// membership and containment).
+func (r *Runtime) nodeWin(a *alloc, gr int, addr armci.Addr) (*mpi.Win, int, int) {
+	win := a.nodeWins[r.Rank()]
+	return win, win.Comm().RankOfWorld(addr.Rank), int(addr.VA - a.addrs[gr].VA)
+}
+
+// nodePut is the same-node tier: one exclusive-lock epoch on the
+// shared window, whose put degenerates to a shm segment copy.
+func (r *Runtime) nodePut(src armci.Addr, a *alloc, gr int, dst armci.Addr, n int) error {
+	sreg, err := r.localRegion(src, n)
+	if err != nil {
+		return err
+	}
+	win, gt, disp := r.nodeWin(a, gr, dst)
+	if err := win.Lock(mpi.LockExclusive, gt); err != nil {
+		return err
+	}
+	t := mpi.TypeContiguous(n)
+	opErr := win.Put(mpi.LocalBuf{Region: sreg, Off: int(src.VA - sreg.VA), Type: t}, gt, disp, t)
+	if err := win.Unlock(gt); err != nil && opErr == nil {
+		opErr = err
+	}
+	return opErr
+}
+
+// nodeGet mirrors nodePut for the read direction.
+func (r *Runtime) nodeGet(a *alloc, gr int, src, dst armci.Addr, n int) error {
+	dreg, err := r.localRegion(dst, n)
+	if err != nil {
+		return err
+	}
+	win, gt, disp := r.nodeWin(a, gr, src)
+	if err := win.Lock(mpi.LockExclusive, gt); err != nil {
+		return err
+	}
+	t := mpi.TypeContiguous(n)
+	opErr := win.Get(mpi.LocalBuf{Region: dreg, Off: int(dst.VA - dreg.VA), Type: t}, gt, disp, t)
+	if err := win.Unlock(gt); err != nil && opErr == nil {
+		opErr = err
+	}
+	return opErr
+}
+
+// nodeAcc accumulates through the shared window so same-node updates
+// stay atomic with respect to each other. MPI accumulate has no scale
+// argument; scale != 1 pre-scales into a temporary buffer first, as
+// the inner runtime does.
+func (r *Runtime) nodeAcc(scale float64, src armci.Addr, a *alloc, gr int, dst armci.Addr, n int) error {
+	sreg, err := r.localRegion(src, n)
+	if err != nil {
+		return err
+	}
+	m := r.W.Mpi.M
+	buf := mpi.LocalBuf{Region: sreg, Off: int(src.VA - sreg.VA)}
+	if scale != 1 {
+		tmp := r.R.AllocMem(n)
+		m.CopyLocal(r.R.P, n)
+		m.Compute(r.R.P, float64(n/8))
+		vals := decodeF64(sreg.Bytes(src.VA, n))
+		for i := range vals {
+			vals[i] *= scale
+		}
+		encodeF64(tmp.Data[:n], vals)
+		defer func() { _ = m.Space(r.Rank()).Free(tmp.VA) }()
+		buf = mpi.LocalBuf{Region: tmp, Off: 0}
+	}
+	win, gt, disp := r.nodeWin(a, gr, dst)
+	if err := win.Lock(mpi.LockExclusive, gt); err != nil {
+		return err
+	}
+	t := mpi.TypeContiguous(n)
+	buf.Type = t
+	opErr := win.Accumulate(buf, mpi.OpSum, gt, disp, t)
+	if err := win.Unlock(gt); err != nil && opErr == nil {
+		opErr = err
+	}
+	return opErr
+}
+
+// Put copies n bytes from the local src to the global dst, routed by
+// locality tier; every tier is both locally and remotely complete on
+// return.
+func (r *Runtime) Put(src, dst armci.Addr, n int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpPut)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	if src.Rank == r.Rank() {
+		switch t, a, gr := r.classify(dst, n); t {
+		case tierSelf:
+			r.count(tierSelf)
+			return r.selfCopy(src, dst, n)
+		case tierNode:
+			r.count(tierNode)
+			return r.nodePut(src, a, gr, dst, n)
+		}
+	}
+	r.count(tierRemote)
+	r.stage(dst.Rank, n)
+	return r.inner.Put(src, dst, n)
+}
+
+// Get copies n bytes from the global src to the local dst.
+func (r *Runtime) Get(src, dst armci.Addr, n int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpGet)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	if dst.Rank == r.Rank() {
+		switch t, a, gr := r.classify(src, n); t {
+		case tierSelf:
+			r.count(tierSelf)
+			return r.selfCopy(src, dst, n)
+		case tierNode:
+			r.count(tierNode)
+			return r.nodeGet(a, gr, src, dst, n)
+		}
+	}
+	r.count(tierRemote)
+	r.stage(src.Rank, n)
+	return r.inner.Get(src, dst, n)
+}
+
+// Acc applies dst += scale*src elementwise on float64.
+func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int) error {
+	if pr := r.prof(); pr != nil {
+		pr.Begin(r.Rank(), profile.OpAcc)
+		defer pr.End(r.Rank())
+	}
+	if err := armci.CheckContig(src, dst, n); err != nil {
+		return err
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("dartmpi: Acc size %d not a multiple of 8 (float64)", n)
+	}
+	if src.Rank == r.Rank() {
+		switch t, a, gr := r.classify(dst, n); t {
+		case tierSelf, tierNode:
+			r.count(t)
+			return r.nodeAcc(scale, src, a, gr, dst, n)
+		}
+	}
+	r.count(tierRemote)
+	r.stage(dst.Rank, n)
+	return r.inner.Acc(op, scale, src, dst, n)
+}
+
+func decodeF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func encodeF64(b []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+}

@@ -1,7 +1,8 @@
 // Package harness assembles a complete simulated job: engine, fabric
-// machine, MPI world, and one of the two ARMCI runtimes (native or
-// ARMCI-MPI), mirroring the paper's Figure 1 software stacks. It is the
-// entry point used by tests, benchmarks, examples, and the CLIs.
+// machine, MPI world, and one of the four ARMCI runtimes (native,
+// ARMCI-MPI, data-server, or dartmpi), mirroring the paper's Figure 1
+// software stacks. It is the entry point used by tests, benchmarks,
+// examples, and the CLIs.
 package harness
 
 import (
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/armci"
 	"repro/internal/armcimpi"
+	"repro/internal/dartmpi"
 	"repro/internal/dataserver"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
@@ -30,15 +32,25 @@ const (
 	// Related Work contrasts: a per-node data server over MPI
 	// two-sided messaging (SectionIX).
 	ImplDataServer Impl = "armci-ds"
+	// ImplDartMPI is the locality-aware dual-window runtime in the
+	// DART-MPI style: shared-memory windows per node, tiered routing,
+	// and hierarchical leader staging over the armcimpi wire path.
+	ImplDartMPI Impl = "dartmpi"
 )
+
+// ImplNames returns the valid implementation names in registry order
+// (for CLI usage and error text).
+func ImplNames() []string {
+	return []string{string(ImplNative), string(ImplARMCIMPI), string(ImplDataServer), string(ImplDartMPI)}
+}
 
 // ParseImpl validates an implementation name from a CLI flag.
 func ParseImpl(s string) (Impl, error) {
 	switch Impl(s) {
-	case ImplNative, ImplARMCIMPI, ImplDataServer:
+	case ImplNative, ImplARMCIMPI, ImplDataServer, ImplDartMPI:
 		return Impl(s), nil
 	default:
-		return "", fmt.Errorf("harness: unknown ARMCI implementation %q (want native, armci-mpi, or armci-ds)", s)
+		return "", fmt.Errorf("harness: unknown ARMCI implementation %q (want native, armci-mpi, armci-ds, or dartmpi)", s)
 	}
 }
 
@@ -54,6 +66,7 @@ type Job struct {
 	NativeWorld *native.World
 	AMWorld     *armcimpi.World
 	DSWorld     *dataserver.World
+	DartWorld   *dartmpi.World
 }
 
 // NewJob builds the simulation stack for nranks ranks of the platform.
@@ -90,6 +103,8 @@ func NewJobObs(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Opti
 		j.AMWorld = armcimpi.NewWorld(j.MpiWorld)
 	case ImplDataServer:
 		j.DSWorld = dataserver.NewWorld(m, &plat.Native)
+	case ImplDartMPI:
+		j.DartWorld = dartmpi.NewWorld(j.MpiWorld)
 	default:
 		return nil, fmt.Errorf("harness: unknown implementation %q", impl)
 	}
@@ -114,6 +129,8 @@ func (j *Job) Runtime(p *sim.Proc) armci.Runtime {
 		return native.New(j.NativeWorld, armci.MPIColl{R: r}, p)
 	case ImplDataServer:
 		return dataserver.New(j.DSWorld, armci.MPIColl{R: r}, p)
+	case ImplDartMPI:
+		return dartmpi.New(j.DartWorld, r, j.Opt)
 	default:
 		return armcimpi.New(j.AMWorld, r, j.Opt)
 	}

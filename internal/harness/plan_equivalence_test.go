@@ -15,7 +15,9 @@ import (
 // plans: a seeded pseudo-random mix of contiguous, strided, and IOV
 // put/get/acc (including nonblocking issues completed via WaitAll) must
 // leave the global memory byte-identical to the native baseline for
-// every combination of {MPI-2, MPI-3} x {shm, NoShm} x transfer method.
+// every combination of {MPI-2, MPI-3} x {shm, NoShm} x transfer method,
+// under both the armcimpi plan engine and the dartmpi locality tiers
+// that route around (or through) it.
 func TestPlanEngineEquivalence(t *testing.T) {
 	const (
 		nranks = 6
@@ -31,22 +33,24 @@ func TestPlanEngineEquivalence(t *testing.T) {
 		armcimpi.MethodConservative, armcimpi.MethodBatched,
 		armcimpi.MethodIOVDirect, armcimpi.MethodAuto,
 	}
-	for _, mpi3 := range []bool{false, true} {
-		for _, noShm := range []bool{false, true} {
-			for i := range stridedMethods {
-				opt := armcimpi.DefaultOptions()
-				opt.UseMPI3 = mpi3
-				opt.NoShm = noShm
-				opt.StridedMethod = stridedMethods[i]
-				opt.IOVMethod = iovMethods[i]
-				name := fmt.Sprintf("mpi3=%v/noshm=%v/%s+%s", mpi3, noShm, stridedMethods[i], iovMethods[i])
-				got := planWorkloadSnapshot(t, name, ImplARMCIMPI, opt, nranks, slice, rounds)
-				if len(got) != len(baseline) {
-					t.Fatalf("%s: snapshot length %d != native %d", name, len(got), len(baseline))
-				}
-				for k := range got {
-					if got[k] != baseline[k] {
-						t.Fatalf("%s diverges from native at byte %d (%d vs %d)", name, k, got[k], baseline[k])
+	for _, impl := range []Impl{ImplARMCIMPI, ImplDartMPI} {
+		for _, mpi3 := range []bool{false, true} {
+			for _, noShm := range []bool{false, true} {
+				for i := range stridedMethods {
+					opt := armcimpi.DefaultOptions()
+					opt.UseMPI3 = mpi3
+					opt.NoShm = noShm
+					opt.StridedMethod = stridedMethods[i]
+					opt.IOVMethod = iovMethods[i]
+					name := fmt.Sprintf("%s/mpi3=%v/noshm=%v/%s+%s", impl, mpi3, noShm, stridedMethods[i], iovMethods[i])
+					got := planWorkloadSnapshot(t, name, impl, opt, nranks, slice, rounds)
+					if len(got) != len(baseline) {
+						t.Fatalf("%s: snapshot length %d != native %d", name, len(got), len(baseline))
+					}
+					for k := range got {
+						if got[k] != baseline[k] {
+							t.Fatalf("%s diverges from native at byte %d (%d vs %d)", name, k, got[k], baseline[k])
+						}
 					}
 				}
 			}

@@ -10,9 +10,10 @@ import (
 	"repro/internal/sim"
 )
 
-// forBoth runs the same body under all three ARMCI stacks — native,
-// ARMCI-MPI on MPI-2 epochs (the paper's shipping design), and
-// ARMCI-MPI on the MPI-3 lock-all backend (SectionVIII.B) — the
+// forBoth runs the same body under every ARMCI stack — native,
+// ARMCI-MPI on MPI-2 epochs (the paper's shipping design), ARMCI-MPI
+// on the MPI-3 lock-all backend (SectionVIII.B), the data server, and
+// the locality-aware dartmpi runtime (with and without MPI-3) — the
 // paper's central claim is that application code is oblivious to which
 // runtime is underneath.
 func forBoth(t *testing.T, nranks int, body func(t *testing.T, rt armci.Runtime)) {
@@ -26,6 +27,8 @@ func forBoth(t *testing.T, nranks int, body func(t *testing.T, rt armci.Runtime)
 		{"armci-mpi", ImplARMCIMPI, armcimpi.DefaultOptions()},
 		{"armci-mpi3", ImplARMCIMPI, mpi3Options()},
 		{"armci-ds", ImplDataServer, armcimpi.DefaultOptions()},
+		{"dartmpi", ImplDartMPI, armcimpi.DefaultOptions()},
+		{"dartmpi-mpi3", ImplDartMPI, mpi3Options()},
 	}
 	for _, v := range variants {
 		v := v
@@ -603,8 +606,19 @@ func TestParseImpl(t *testing.T) {
 	if _, err := ParseImpl("armci-mpi"); err != nil {
 		t.Error(err)
 	}
+	if _, err := ParseImpl("armci-ds"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseImpl("dartmpi"); err != nil {
+		t.Error(err)
+	}
 	if _, err := ParseImpl("bogus"); err == nil {
 		t.Error("bogus impl accepted")
+	}
+	for _, name := range ImplNames() {
+		if _, err := ParseImpl(name); err != nil {
+			t.Errorf("ImplNames entry %q rejected: %v", name, err)
+		}
 	}
 }
 

@@ -45,6 +45,13 @@ const (
 	// Data server (internal/dataserver).
 	CDsRequests = "ds.requests" // requests sent to remote data servers
 	TDsWait     = "ds.wait"     // time requests spent queued at servers
+
+	// Locality-aware runtime (internal/dartmpi).
+	CDartSelf        = "dart.self.ops"      // ops routed to the load-store tier
+	CDartNode        = "dart.node.ops"      // ops routed to the same-node shm tier
+	CDartRemote      = "dart.remote.ops"    // ops routed to the inter-node RMA tier
+	CDartStaged      = "dart.leader.staged" // remote transfers staged through the node leader
+	CDartStagedBytes = "dart.leader.bytes"  // bytes copied through leader staging buffers
 )
 
 // histBuckets is the bucket count of the log2 latency histograms:

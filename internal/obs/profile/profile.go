@@ -55,6 +55,12 @@ const (
 	// PhaseTargetProc is target-side processing (reduction application,
 	// atomic execution, data-server service).
 	PhaseTargetProc
+	// PhaseLeaderQueue is time a hierarchically staged transfer waited
+	// for its node leader's staging pipe (dartmpi).
+	PhaseLeaderQueue
+	// PhaseLeaderCopy is the shared-memory copy into the node leader's
+	// staging buffer ahead of the wire transfer (dartmpi).
+	PhaseLeaderCopy
 	// PhaseOther is the residual: software overheads, control-message
 	// round trips, and progress delays not claimed by another phase.
 	PhaseOther
@@ -65,7 +71,8 @@ const (
 
 var phaseNames = [NumPhases]string{
 	"lock.wait", "epoch.wait", "dt.pack", "shm.copy",
-	"wire.queue", "wire.xfer", "target.queue", "target.proc", "other",
+	"wire.queue", "wire.xfer", "target.queue", "target.proc",
+	"leader.queue", "leader.copy", "other",
 }
 
 func (ph Phase) String() string {
