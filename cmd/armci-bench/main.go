@@ -13,6 +13,7 @@
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
 //	armci-bench -fig wallclock
+//	armci-bench -fig scale [-quick] [-sched goroutine|continuation]
 //
 // With no -platform, figure sweeps run on all four platforms. A
 // combined -fig figN-plat spelling (e.g. -fig fig3-ib) selects one
@@ -24,6 +25,13 @@
 // every other figure it is machine dependent and NOT byte-deterministic,
 // so its JSON export is a trajectory record, not a guarded artifact. It
 // is excluded from -fig all for that reason.
+//
+// The scale figure sweeps the CCSD proxy and GA fan-out shapes to
+// 4096-16384 simulated ranks on the Cray XT5 model. It runs under the
+// engine's continuation scheduler by default (goroutine-per-rank does
+// not fit 16k ranks on a laptop-class host); -sched selects the mode
+// explicitly, for every figure. Scale is excluded from -fig all
+// because its jobs dwarf every other sweep.
 //
 // Runtime tuning (applied to every job a sweep constructs; an
 // ablation's own axis still overrides these):
@@ -64,7 +72,12 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/sim"
 )
+
+// scaleSched, when set by an explicit -sched flag, overrides the scale
+// sweep's default continuation mode.
+var scaleSched *sim.Mode
 
 func main() {
 	fig := flag.String("fig", "3", "what to regenerate: 3, 4, 5, 6? use nwchem-bench; ablation-shm, ablations, table2, all")
@@ -81,7 +94,25 @@ func main() {
 	runtimeName := flag.String("runtime", "",
 		fmt.Sprintf("extra ARMCI runtime series for the Figure 3 comparison (%s)",
 			strings.Join(harness.ImplNames(), ", ")))
+	sched := flag.String("sched", "",
+		"engine execution mode: goroutine (default) or continuation; -fig scale defaults to continuation")
 	flag.Parse()
+
+	schedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sched" {
+			schedSet = true
+		}
+	})
+	if schedSet {
+		mode, err := sim.ParseMode(*sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "armci-bench:", err)
+			os.Exit(1)
+		}
+		harness.Sched = mode
+		scaleSched = &mode
+	}
 
 	if *runtimeName != "" {
 		impl, err := harness.ParseImpl(*runtimeName)
@@ -159,7 +190,7 @@ func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, json
 		}
 	}
 	switch fig {
-	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablation-locality", "ablations", "table2", "wallclock", "all":
+	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablation-locality", "ablations", "table2", "wallclock", "scale", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -389,6 +420,23 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 			cfg = bench.QuickWallclock()
 		}
 		f, err := bench.Wallclock(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(f, jsonDir)
+	}
+	// Like wallclock, scale is excluded from -fig all: its jobs are
+	// orders of magnitude larger than every other sweep.
+	if fig == "scale" {
+		cfg := bench.DefaultScale()
+		if quick {
+			cfg = bench.QuickScale()
+		}
+		if scaleSched != nil {
+			cfg.Sched = *scaleSched
+		}
+		cfg.Obs = rec
+		f, err := bench.Scale(cfg)
 		if err != nil {
 			return err
 		}

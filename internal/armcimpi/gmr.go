@@ -178,6 +178,10 @@ func (w *World) find(addr armci.Addr) (*GMR, int, int, bool) {
 // byID returns a registered GMR.
 func (w *World) byID(id int) *GMR { return w.ids[id] }
 
+// NumGMRs returns the number of live registered GMRs (test hook for
+// leak assertions).
+func (w *World) NumGMRs() int { return len(w.gmrs) }
+
 // register enters a GMR into the translation table and both indexes.
 func (w *World) register(g *GMR) {
 	w.gmrs = append(w.gmrs, g)
@@ -359,11 +363,7 @@ func (r *Runtime) Proc() *sim.Proc { return r.R.P }
 // Malloc collectively allocates globally accessible memory on the
 // world and returns the base-address vector (SectionV.B).
 func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
-	members := make([]int, r.Nprocs())
-	for i := range members {
-		members[i] = i
-	}
-	return r.mallocOn(r.R.CommWorld(), members, bytes)
+	return r.mallocOn(r.R.CommWorld(), r.R.CommWorld().GroupShared(), bytes)
 }
 
 // MallocGroup allocates over an ARMCI group.
@@ -394,32 +394,44 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	if err != nil {
 		return nil, err
 	}
-	vas := comm.AllgatherI64([]int64{va, int64(bytes)})
 	// The group's first member enters the GMR into the translation
 	// table; its id is broadcast so all members attach to one entry.
+	// Base addresses travel by allgather on small groups (the
+	// all-to-all of SectionV.B) and by gather-at-root on large ones, so
+	// the N-entry address table is built once instead of on every
+	// lock-stepped rank.
+	big := comm.Size() >= mpi.BigCommThreshold
 	var id int
-	if comm.Rank() == 0 {
-		g := &GMR{
-			id:     r.W.nextID,
-			group:  append([]int(nil), members...),
-			rankOf: map[int]int{},
-			addrs:  make([]armci.Addr, len(members)),
-			sizes:  make([]int, len(members)),
-			wins:   map[int]*mpi.Win{},
-			mutex:  map[int]*Mutexes{},
-		}
-		r.W.nextID++
-		for i, world := range members {
-			g.rankOf[world] = i
-			g.sizes[i] = int(vas[2*i+1])
-			if g.sizes[i] > 0 {
-				g.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+	if big {
+		parts := comm.Gather(0, mpi.I64sToBytes([]int64{va, int64(bytes)}))
+		if comm.Rank() == 0 {
+			g := newGMR(r.W, members, true)
+			for i, p := range parts {
+				v := mpi.BytesToI64s(p)
+				g.sizes[i] = int(v[1])
+				if g.sizes[i] > 0 {
+					g.addrs[i] = armci.Addr{Rank: members[i], VA: v[0]}
+				}
 			}
+			r.W.register(g)
+			id = g.id
 		}
-		r.W.register(g)
-		id = g.id
+		id = int(comm.BcastI64(0, []int64{int64(id)})[0])
+	} else {
+		vas := comm.AllgatherI64([]int64{va, int64(bytes)})
+		if comm.Rank() == 0 {
+			g := newGMR(r.W, members, false)
+			for i, world := range members {
+				g.sizes[i] = int(vas[2*i+1])
+				if g.sizes[i] > 0 {
+					g.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+				}
+			}
+			r.W.register(g)
+			id = g.id
+		}
+		id = int(comm.BcastI64(0, []int64{int64(id)})[0])
 	}
-	id = int(comm.BcastI64(0, []int64{int64(id)})[0])
 	g := r.W.byID(id)
 	g.wins[r.Rank()] = win
 	// The per-GMR mutex for read-modify-write (SectionV.D).
@@ -435,7 +447,36 @@ func (r *Runtime) mallocOn(comm *mpi.Comm, members []int, bytes int) ([]armci.Ad
 	if o.Tracing() {
 		o.Span(r.Rank(), "armci", "gmr.alloc", t0, r.R.P.Now(), obs.A("bytes", bytes), obs.A("id", id))
 	}
+	if big {
+		// One shared address vector for the job; callers treat it as
+		// read-only (a per-rank copy would be N² entries).
+		return g.addrs, nil
+	}
 	return append([]armci.Addr(nil), g.addrs...), nil
+}
+
+// newGMR builds an empty GMR record over members. When shareGroup is
+// set the members slice is retained as-is (large groups pass the
+// job-wide shared group slice); otherwise it is copied.
+func newGMR(w *World, members []int, shareGroup bool) *GMR {
+	group := members
+	if !shareGroup {
+		group = append([]int(nil), members...)
+	}
+	g := &GMR{
+		id:     w.nextID,
+		group:  group,
+		rankOf: map[int]int{},
+		addrs:  make([]armci.Addr, len(members)),
+		sizes:  make([]int, len(members)),
+		wins:   map[int]*mpi.Win{},
+		mutex:  map[int]*Mutexes{},
+	}
+	w.nextID++
+	for i, world := range members {
+		g.rankOf[world] = i
+	}
+	return g
 }
 
 // Free collectively releases a world allocation; processes with a

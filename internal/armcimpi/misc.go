@@ -129,7 +129,7 @@ func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, er
 	if err := win.Unlock(gr); err != nil {
 		return 0, err
 	}
-	old := int64(binary.LittleEndian.Uint64(scratch.Data))
+	old := int64(binary.LittleEndian.Uint64(scratch.Backing()))
 	var nv int64
 	switch op {
 	case armci.FetchAndAdd:
@@ -139,7 +139,7 @@ func (r *Runtime) Rmw(op armci.RmwOp, addr armci.Addr, operand int64) (int64, er
 	default:
 		return 0, fmt.Errorf("armcimpi: unknown RMW op %v", op)
 	}
-	binary.LittleEndian.PutUint64(scratch.Data, uint64(nv))
+	binary.LittleEndian.PutUint64(scratch.Backing(), uint64(nv))
 	if err := win.Lock(mpi.LockExclusive, gr); err != nil {
 		return 0, err
 	}

@@ -22,8 +22,17 @@ type Mutexes struct {
 	r       *Runtime
 	comm    *mpi.Comm // dedicated communicator (notification isolation)
 	win     *mpi.Win
-	counts  []int // mutexes hosted per comm rank
+	counts  []int // mutexes hosted per comm rank; nil when uniform
+	uniform int   // count hosted by every rank, when counts is nil
 	scratch *fabric.Region
+}
+
+// countFor returns the number of mutexes hosted by comm rank host.
+func (m *Mutexes) countFor(host int) int {
+	if m.counts == nil {
+		return m.uniform
+	}
+	return m.counts[host]
 }
 
 // newMutexes collectively creates a mutex set over comm, with the
@@ -33,23 +42,50 @@ func newMutexes(r *Runtime, parent *mpi.Comm, n int) (*Mutexes, error) {
 		return nil, fmt.Errorf("armcimpi: CreateMutexes(%d)", n)
 	}
 	comm := parent.Dup()
-	counts64 := comm.AllgatherI64([]int64{int64(n)})
-	counts := make([]int, len(counts64))
-	for i, c := range counts64 {
-		counts[i] = int(c)
+	m := &Mutexes{r: r, comm: comm, uniform: -1}
+	if comm.Size() >= mpi.BigCommThreshold {
+		// Gather the counts at rank 0; in the overwhelmingly common case
+		// every rank hosts the same count (GMR mutex sets host exactly
+		// one each), so a scalar broadcast replaces the N-entry count
+		// vector every rank would otherwise hold.
+		parts := comm.Gather(0, mpi.I64sToBytes([]int64{int64(n)}))
+		var all []int64
+		hdr := make([]int64, 1)
+		if comm.Rank() == 0 {
+			all = make([]int64, len(parts))
+			hdr[0] = mpi.BytesToI64s(parts[0])[0]
+			for i, p := range parts {
+				all[i] = mpi.BytesToI64s(p)[0]
+				if all[i] != hdr[0] {
+					hdr[0] = -1
+				}
+			}
+		}
+		hdr = comm.BcastI64(0, hdr)
+		if hdr[0] >= 0 {
+			m.uniform = int(hdr[0])
+		} else {
+			all = comm.BcastI64(0, all)
+			m.counts = make([]int, len(all))
+			for i, c := range all {
+				m.counts[i] = int(c)
+			}
+		}
+	} else {
+		counts64 := comm.AllgatherI64([]int64{int64(n)})
+		m.counts = make([]int, len(counts64))
+		for i, c := range counts64 {
+			m.counts[i] = int(c)
+		}
 	}
 	reg := r.R.AllocMem(n * comm.Size())
 	win, err := r.winCreate(comm, reg)
 	if err != nil {
 		return nil, err
 	}
-	return &Mutexes{
-		r:       r,
-		comm:    comm,
-		win:     win,
-		counts:  counts,
-		scratch: r.R.AllocMem(comm.Size() + 1),
-	}, nil
+	m.win = win
+	m.scratch = r.R.AllocMem(comm.Size() + 1)
+	return m, nil
 }
 
 // CreateMutexes collectively creates n mutexes hosted on the calling
@@ -67,7 +103,7 @@ func (m *Mutexes) epoch(host, mtx int, myByte byte) ([]byte, error) {
 	me := m.comm.Rank()
 	n := m.comm.Size()
 	base := mtx * n
-	m.scratch.Data[0] = myByte
+	m.scratch.Backing()[0] = myByte
 	if err := m.win.Lock(mpi.LockExclusive, host); err != nil {
 		return nil, err
 	}
@@ -94,15 +130,15 @@ func (m *Mutexes) epoch(host, mtx int, myByte byte) ([]byte, error) {
 		return nil, err
 	}
 	others := make([]byte, n)
-	copy(others[:me], m.scratch.Data[1:1+me])
-	copy(others[me+1:], m.scratch.Data[1+me:n])
+	copy(others[:me], m.scratch.Backing()[1:1+me])
+	copy(others[me+1:], m.scratch.Backing()[1+me:n])
 	return others, nil
 }
 
 // Lock acquires mutex mtx hosted on world rank proc.
 func (m *Mutexes) Lock(mtx, proc int) {
 	host := m.comm.RankOfWorld(proc)
-	if host < 0 || mtx < 0 || mtx >= m.counts[host] {
+	if host < 0 || mtx < 0 || mtx >= m.countFor(host) {
 		panic(fmt.Sprintf("armcimpi: Lock(%d,%d): invalid mutex", mtx, proc))
 	}
 	t0 := m.r.R.P.Now()
@@ -137,7 +173,7 @@ func (m *Mutexes) Lock(mtx, proc int) {
 // next waiting process in circular order.
 func (m *Mutexes) Unlock(mtx, proc int) {
 	host := m.comm.RankOfWorld(proc)
-	if host < 0 || mtx < 0 || mtx >= m.counts[host] {
+	if host < 0 || mtx < 0 || mtx >= m.countFor(host) {
 		panic(fmt.Sprintf("armcimpi: Unlock(%d,%d): invalid mutex", mtx, proc))
 	}
 	others, err := m.epoch(host, mtx, 0)

@@ -165,7 +165,7 @@ func (r *Runtime) prescale(v *localView, baseVA int64, t mpi.Datatype, scale flo
 		for i, x := range vals {
 			vals[i] = x * scale
 		}
-		copy(out.Data[pos:pos+s.N], mpi.F64sToBytes(vals))
+		copy(out.Backing()[pos:pos+s.N], mpi.F64sToBytes(vals))
 		pos += s.N
 	}
 	return out, nil

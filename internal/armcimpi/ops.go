@@ -102,7 +102,7 @@ func (r *Runtime) acquireLocal(addr armci.Addr, span int) (localView, error) {
 		}
 	}
 	m.CopyLocal(r.R.P, span)
-	copy(tmp.Data, reg.Bytes(addr.VA, span))
+	copy(tmp.Backing(), reg.Bytes(addr.VA, span))
 	if !owned {
 		if err := win.Unlock(gr); err != nil {
 			return localView{}, err
@@ -133,7 +133,7 @@ func (r *Runtime) release(v *localView, writeBack bool) error {
 		}
 		m.CopyLocal(r.R.P, v.span)
 		orig := m.Space(r.Rank()).Find(v.orig.VA, v.span)
-		copy(orig.Bytes(v.orig.VA, v.span), v.reg.Data[:v.span])
+		copy(orig.Bytes(v.orig.VA, v.span), v.reg.Backing()[:v.span])
 		if !v.dlaOwned {
 			if err := win.Unlock(v.myRank); err != nil {
 				return err

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/nwchem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// smokeScale is a miniature scale configuration for tests and the CI
+// race smoke: the same two shapes and both runtimes, at a rank count
+// small enough for the race detector.
+func smokeScale() ScaleConfig {
+	return ScaleConfig{
+		Ranks:          []int{128},
+		Params:         nwchem.Params{NO: 2, NV: 16, Blk: 16, Iter: 1, Chunk: 1, FlopMult: 40},
+		FanoutOwners:   8,
+		FanoutBlkElems: 64,
+		FanoutIters:    2,
+		Sched:          sim.ModeContinuation,
+	}
+}
+
+// guardedFigureJSON regenerates every guarded quick figure — the four
+// byte-compared BENCH artifacts plus a smoke-sized scale figure — under
+// the given engine mode and returns each figure's JSON by name.
+func guardedFigureJSON(t *testing.T, mode sim.Mode) map[string][]byte {
+	t.Helper()
+	prev := harness.Sched
+	harness.Sched = mode
+	defer func() { harness.Sched = prev }()
+	out := map[string][]byte{}
+	add := func(f *Figure, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := f.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		out[f.Name] = b.Bytes()
+	}
+	ib := platform.Get(platform.InfiniBand)
+	add(Fig3(ib, QuickFig3()))
+	add(AblationShm(ib, QuickShmAblation()))
+	add(AblationNbFanout(ib, QuickNbFanout()))
+	add(AblationLocality(ib, QuickLocalityAblation()))
+	sc := smokeScale()
+	sc.Sched = mode
+	add(Scale(sc))
+	return out
+}
+
+// TestModeEquivalenceGuardedFigures proves the continuation scheduler
+// is observationally identical to the goroutine reference at the bench
+// level: every guarded figure's JSON must be byte-identical across the
+// two modes. This is what licenses generating BENCH_scale.json (and
+// regenerating the other artifacts) in either mode.
+func TestModeEquivalenceGuardedFigures(t *testing.T) {
+	g := guardedFigureJSON(t, sim.ModeGoroutine)
+	c := guardedFigureJSON(t, sim.ModeContinuation)
+	if len(g) != len(c) {
+		t.Fatalf("figure sets differ: %d vs %d", len(g), len(c))
+	}
+	for name, gb := range g {
+		cb, ok := c[name]
+		if !ok {
+			t.Errorf("figure %q missing from continuation run", name)
+			continue
+		}
+		if !bytes.Equal(gb, cb) {
+			t.Errorf("figure %q differs between modes:\n--- goroutine ---\n%s\n--- continuation ---\n%s", name, gb, cb)
+		}
+	}
+}
+
+// TestScaleSmokeSeries sanity-checks the scale figure's shape on the
+// smoke config: both runtimes, both shapes, every requested rank count.
+func TestScaleSmokeSeries(t *testing.T) {
+	f, err := Scale(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ARMCI-MPI CCSD", "ARMCI-MPI fanout put", "ARMCI-MPI fanout get",
+		"dartmpi CCSD", "dartmpi fanout put", "dartmpi fanout get",
+	}
+	for _, label := range want {
+		s := f.Get(label)
+		if s == nil {
+			t.Errorf("series %q missing", label)
+			continue
+		}
+		if len(s.X) != 1 || s.X[0] != 128 {
+			t.Errorf("series %q sampled at %v, want [128]", label, s.X)
+		}
+		if s.Y[0] <= 0 {
+			t.Errorf("series %q value %v, want > 0", label, s.Y[0])
+		}
+	}
+}
+
+// BenchmarkScale is the CI race-smoke entry point: one smoke-sized
+// scale sweep per iteration, driving the continuation scheduler, the
+// CCSD proxy, and the fan-out shape under the race detector.
+func BenchmarkScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Scale(smokeScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

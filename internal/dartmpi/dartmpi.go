@@ -31,6 +31,7 @@ package dartmpi
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/armci"
 	"repro/internal/armcimpi"
@@ -55,6 +56,18 @@ type World struct {
 	allocs []*alloc
 	ids    map[int]*alloc
 	nextID int
+
+	// spans holds each world rank's allocations as a VA-sorted interval
+	// list, mirroring the armcimpi GMR index: find resolves
+	// <rank, address> in O(log #allocations) instead of scanning every
+	// allocation on every near-tier classification.
+	spans map[int][]dartSpan
+
+	// testAttachFault, when set, is invoked at the top of attachNodeWin
+	// and its error returned as if window creation failed — the
+	// error-injection point for the Malloc cleanup tests. Tests must set
+	// it so every rank of the collective fails alike.
+	testAttachFault func(bytes int) error
 
 	// leaderBusy is the staging-pipe horizon of each node's leader
 	// rank: hierarchical transfers queue behind it.
@@ -94,24 +107,24 @@ func NewWorld(mw *mpi.World) *World {
 	}
 }
 
+// dartSpan is one rank-local VA interval [lo, hi) of an allocation.
+type dartSpan struct {
+	lo, hi int64
+	a      *alloc
+	gr     int // the allocation's group rank on this world rank
+}
+
 // find locates the allocation fully containing [addr, addr+n) and
-// returns its group rank for addr.Rank. Containment (not just base
-// membership) is required, so the near tiers can never overrun a
-// slice; out-of-range accesses fall through to the inner runtime,
-// which reports them with its usual diagnostics.
+// returns its group rank for addr.Rank, by binary search over the
+// rank's sorted interval list. Containment (not just base membership)
+// is required, so the near tiers can never overrun a slice;
+// out-of-range accesses fall through to the inner runtime, which
+// reports them with its usual diagnostics.
 func (w *World) find(addr armci.Addr, n int) (*alloc, int, bool) {
-	for _, a := range w.allocs {
-		gr, ok := a.rankOf[addr.Rank]
-		if !ok {
-			continue
-		}
-		base := a.addrs[gr]
-		if base.Nil() {
-			continue
-		}
-		if addr.VA >= base.VA && addr.VA+int64(n) <= base.VA+int64(a.sizes[gr]) {
-			return a, gr, true
-		}
+	spans := w.spans[addr.Rank]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi > addr.VA })
+	if i < len(spans) && addr.VA >= spans[i].lo && addr.VA+int64(n) <= spans[i].hi {
+		return spans[i].a, spans[i].gr, true
 	}
 	return nil, 0, false
 }
@@ -119,21 +132,40 @@ func (w *World) find(addr armci.Addr, n int) (*alloc, int, bool) {
 // findByBase locates the allocation whose slice on key.Rank starts
 // exactly at key.VA (the leader-election lookup during Free).
 func (w *World) findByBase(key armci.Addr) *alloc {
-	for _, a := range w.allocs {
-		if gr, ok := a.rankOf[key.Rank]; ok && a.addrs[gr] == key {
-			return a
-		}
+	spans := w.spans[key.Rank]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].lo >= key.VA })
+	if i < len(spans) && spans[i].lo == key.VA {
+		return spans[i].a
 	}
 	return nil
 }
 
+// register enters an allocation into the translation table and the
+// span index.
 func (w *World) register(a *alloc) {
 	a.id = w.nextID
 	w.nextID++
 	w.allocs = append(w.allocs, a)
 	w.ids[a.id] = a
+	if w.spans == nil {
+		w.spans = map[int][]dartSpan{}
+	}
+	for gr, world := range a.group {
+		if a.sizes[gr] == 0 {
+			continue
+		}
+		lo := a.addrs[gr].VA
+		sp := dartSpan{lo: lo, hi: lo + int64(a.sizes[gr]), a: a, gr: gr}
+		list := w.spans[world]
+		i := sort.Search(len(list), func(i int) bool { return list[i].lo >= sp.lo })
+		list = append(list, dartSpan{})
+		copy(list[i+1:], list[i:])
+		list[i] = sp
+		w.spans[world] = list
+	}
 }
 
+// unregister removes an allocation from the table and the span index.
 func (w *World) unregister(a *alloc) {
 	for i, e := range w.allocs {
 		if e == a {
@@ -142,7 +174,28 @@ func (w *World) unregister(a *alloc) {
 		}
 	}
 	delete(w.ids, a.id)
+	for gr, world := range a.group {
+		if a.sizes[gr] == 0 {
+			continue
+		}
+		list := w.spans[world]
+		for i := range list {
+			if list[i].a == a && list[i].gr == gr {
+				w.spans[world] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
 }
+
+// NumAllocs returns the number of live node-window allocations
+// (diagnostics and leak tests).
+func (w *World) NumAllocs() int { return len(w.allocs) }
+
+// SetAttachFault installs (or, with nil, clears) the error-injection
+// hook invoked at the top of attachNodeWin. Test hook: the fault is
+// shared world state, so every rank of a collective fails alike.
+func (w *World) SetAttachFault(f func(bytes int) error) { w.testAttachFault = f }
 
 // Runtime is one rank's dartmpi handle.
 type Runtime struct {
@@ -192,29 +245,37 @@ func (r *Runtime) stageThreshold() int {
 }
 
 // Malloc collectively allocates globally accessible memory: the inner
-// GMR (inter-node RMA window) plus the node-local shared window.
+// GMR (inter-node RMA window) plus the node-local shared window. If
+// the node-window attach fails, the already-completed inner allocation
+// is released (collectively — attach errors are symmetric across the
+// group) so the GMR table does not leak a window and its memory.
 func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
 	addrs, err := r.inner.Malloc(bytes)
 	if err != nil {
 		return nil, err
 	}
-	members := make([]int, r.Nprocs())
-	for i := range members {
-		members[i] = i
-	}
-	if err := r.attachNodeWin(r.R.CommWorld(), members, addrs[r.Rank()], bytes); err != nil {
+	world := r.R.CommWorld()
+	if err := r.attachNodeWin(world, world.GroupShared(), addrs[r.Rank()], bytes); err != nil {
+		if ferr := r.inner.Free(addrs[r.Rank()]); ferr != nil {
+			return nil, fmt.Errorf("%w (inner free during cleanup also failed: %v)", err, ferr)
+		}
 		return nil, err
 	}
 	return addrs, nil
 }
 
-// MallocGroup allocates over an ARMCI group.
+// MallocGroup allocates over an ARMCI group, with the same error-path
+// cleanup as Malloc.
 func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
 	addrs, err := r.inner.MallocGroup(g, bytes)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.attachNodeWin(armci.GroupCommOf(g), g.Ranks, addrs[g.RankOf(r.Rank())], bytes); err != nil {
+	mine := addrs[g.RankOf(r.Rank())]
+	if err := r.attachNodeWin(armci.GroupCommOf(g), g.Ranks, mine, bytes); err != nil {
+		if ferr := r.inner.FreeGroup(g, mine); ferr != nil {
+			return nil, fmt.Errorf("%w (inner free during cleanup also failed: %v)", err, ferr)
+		}
 		return nil, err
 	}
 	return addrs, nil
@@ -227,6 +288,11 @@ func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
 func (r *Runtime) attachNodeWin(comm *mpi.Comm, members []int, myAddr armci.Addr, bytes int) error {
 	if r.Opt.NoShm {
 		return nil
+	}
+	if r.W.testAttachFault != nil {
+		if err := r.W.testAttachFault(bytes); err != nil {
+			return err
+		}
 	}
 	m := r.W.Mpi.M
 	me := r.Rank()
@@ -249,31 +315,65 @@ func (r *Runtime) attachNodeWin(comm *mpi.Comm, members []int, myAddr armci.Addr
 		return err
 	}
 	// Exchange base addresses over the full allocation group so every
-	// member holds identical translation metadata.
-	vas := comm.AllgatherI64([]int64{va, int64(bytes)})
+	// member holds identical translation metadata. Small groups use the
+	// symmetric allgather; large groups gather at rank 0, which builds
+	// the shared record once (the table is shared via the ids map, so
+	// no other rank ever needs the address vector).
+	big := comm.Size() >= mpi.BigCommThreshold
 	var id int
-	if comm.Rank() == 0 {
-		a := &alloc{
-			group:    append([]int(nil), members...),
-			rankOf:   map[int]int{},
-			addrs:    make([]armci.Addr, len(members)),
-			sizes:    make([]int, len(members)),
-			nodeWins: map[int]*mpi.Win{},
-		}
-		for i, world := range members {
-			a.rankOf[world] = i
-			a.sizes[i] = int(vas[2*i+1])
-			if a.sizes[i] > 0 {
-				a.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+	if big {
+		parts := comm.Gather(0, mpi.I64sToBytes([]int64{va, int64(bytes)}))
+		if comm.Rank() == 0 {
+			a := newAlloc(members, true)
+			for i, p := range parts {
+				v := mpi.BytesToI64s(p)
+				a.sizes[i] = int(v[1])
+				if a.sizes[i] > 0 {
+					a.addrs[i] = armci.Addr{Rank: members[i], VA: v[0]}
+				}
 			}
+			r.W.register(a)
+			id = a.id
 		}
-		r.W.register(a)
-		id = a.id
+	} else {
+		vas := comm.AllgatherI64([]int64{va, int64(bytes)})
+		if comm.Rank() == 0 {
+			a := newAlloc(members, false)
+			for i, world := range members {
+				a.sizes[i] = int(vas[2*i+1])
+				if a.sizes[i] > 0 {
+					a.addrs[i] = armci.Addr{Rank: world, VA: vas[2*i]}
+				}
+			}
+			r.W.register(a)
+			id = a.id
+		}
 	}
 	id = int(comm.BcastI64(0, []int64{int64(id)})[0])
 	r.W.ids[id].nodeWins[me] = win
 	comm.Barrier()
 	return nil
+}
+
+// newAlloc builds an empty allocation record over members. When
+// shareGroup is set the members slice is retained as-is (large groups
+// pass the job-wide shared group slice); otherwise it is copied.
+func newAlloc(members []int, shareGroup bool) *alloc {
+	group := members
+	if !shareGroup {
+		group = append([]int(nil), members...)
+	}
+	a := &alloc{
+		group:    group,
+		rankOf:   map[int]int{},
+		addrs:    make([]armci.Addr, len(members)),
+		sizes:    make([]int, len(members)),
+		nodeWins: map[int]*mpi.Win{},
+	}
+	for i, world := range members {
+		a.rankOf[world] = i
+	}
+	return a
 }
 
 // Free collectively releases a world allocation.

@@ -192,7 +192,7 @@ func (r *Runtime) nodeAcc(scale float64, src armci.Addr, a *alloc, gr int, dst a
 		for i := range vals {
 			vals[i] *= scale
 		}
-		encodeF64(tmp.Data[:n], vals)
+		encodeF64(tmp.Backing()[:n], vals)
 		defer func() { _ = m.Space(r.Rank()).Free(tmp.VA) }()
 		buf = mpi.LocalBuf{Region: tmp, Off: 0}
 	}

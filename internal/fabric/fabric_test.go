@@ -285,7 +285,7 @@ func TestRegionBytesAndBoundsPanic(t *testing.T) {
 	r := m.Space(0).Alloc(64, DomainNone, false)
 	b := r.Bytes(r.VA+8, 8)
 	b[0] = 0xAB
-	if r.Data[8] != 0xAB {
+	if r.Backing()[8] != 0xAB {
 		t.Error("Bytes does not alias region data")
 	}
 	defer func() {

@@ -54,7 +54,12 @@ func (d Domain) String() string {
 }
 
 // Region is an allocated range of a rank's address space with backing
-// storage. Data is addressed relative to VA.
+// storage. Data is addressed relative to VA and is materialized lazily
+// on first access: a region that is allocated but never touched (mutex
+// byte vectors, scratch buffers of idle ranks) costs no host memory,
+// which is what lets 16k-rank jobs fit. Access the storage through
+// Bytes or Backing, never the Data field directly — it is nil until
+// the first touch.
 type Region struct {
 	Rank int
 	VA   int64
@@ -76,14 +81,28 @@ func (r *Region) Contains(va int64, n int) bool {
 	return va >= r.VA && va+int64(n) <= r.VA+int64(r.Len)
 }
 
-// Bytes returns the backing slice for [va, va+n).
+// Bytes returns the backing slice for [va, va+n), materializing the
+// region's storage on first touch.
 func (r *Region) Bytes(va int64, n int) []byte {
 	if !r.Contains(va, n) {
 		panic(fmt.Sprintf("fabric: access [0x%x,+%d) outside region [0x%x,+%d) on rank %d",
 			va, n, r.VA, r.Len, r.Rank))
 	}
+	if r.Data == nil && r.Len > 0 {
+		r.Data = make([]byte, r.Len)
+	}
 	off := va - r.VA
 	return r.Data[off : off+int64(n)]
+}
+
+// Backing returns the region's full backing slice, materializing it on
+// first touch. Freshly materialized storage is zeroed, exactly as an
+// eager allocation would be.
+func (r *Region) Backing() []byte {
+	if r.Data == nil && r.Len > 0 {
+		r.Data = make([]byte, r.Len)
+	}
+	return r.Data
 }
 
 // PinnedFor reports whether the region is usable for direct DMA by the
@@ -120,7 +139,6 @@ func (s *AddrSpace) Alloc(n int, d Domain, prepinned bool) *Region {
 		Rank:        s.rank,
 		VA:          s.next,
 		Len:         n,
-		Data:        make([]byte, n),
 		AllocDomain: d,
 		prepinned:   prepinned,
 		pinned:      map[Domain]bool{},

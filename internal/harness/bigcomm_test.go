@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/armcimpi"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// TestBigCommMetadataPaths drives the gather-at-root metadata branches
+// that engage at mpi.BigCommThreshold (4096) ranks: communicator Dup
+// via the identity split, window creation, the shared allocation
+// address vector, scalar-broadcast mutex counts, and the dartmpi node
+// window attach — then data movement and a full free cycle on top of
+// the shared metadata. Runs under the continuation scheduler, which is
+// also how the scale sweeps exercise these paths.
+func TestBigCommMetadataPaths(t *testing.T) {
+	const nranks = 4096
+	plat := platform.Get(platform.CrayXT5)
+	for _, impl := range []Impl{ImplARMCIMPI, ImplDartMPI} {
+		t.Run(string(impl), func(t *testing.T) {
+			opt := armcimpi.DefaultOptions()
+			opt.UseMPI3 = true
+			j, err := NewJob(plat, nranks, impl, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.Eng.Mode = sim.ModeContinuation
+			err = j.Eng.Run(nranks, func(p *sim.Proc) {
+				rt := j.Runtime(p)
+				addrs, err := rt.Malloc(512)
+				must(t, err)
+				if len(addrs) != nranks {
+					t.Errorf("addr vector length %d, want %d", len(addrs), nranks)
+				}
+				if rt.Rank() == 0 {
+					src := rt.MallocLocal(128)
+					fill(t, rt, src, 128, func(i int) byte { return byte(i + 3) })
+					// Same-node, remote, and far-remote targets.
+					for _, target := range []int{1, 100, nranks - 1} {
+						must(t, rt.Put(src, addrs[target].Add(32), 128))
+					}
+					dst := rt.MallocLocal(128)
+					must(t, rt.Get(addrs[nranks-1].Add(32), dst, 128))
+					b, err := rt.LocalBytes(dst, 128)
+					must(t, err)
+					for i := range b {
+						if b[i] != byte(i+3) {
+							t.Fatalf("byte %d = %d, want %d", i, b[i], i+3)
+						}
+					}
+				}
+				rt.Barrier()
+				must(t, rt.Free(addrs[rt.Rank()]))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestDartMallocAttachFaultCleanup injects a failure into the
+// node-window attach that follows the inner Malloc and asserts the
+// error path releases the already-completed inner allocation: neither
+// the dartmpi translation table nor the inner GMR table may grow, and
+// the runtime must keep working once the fault clears.
+func TestDartMallocAttachFaultCleanup(t *testing.T) {
+	rec := obs.New(obs.Options{})
+	j, err := NewJobObs(TestPlatform(), 4, ImplDartMPI, armcimpi.DefaultOptions(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAllocs := j.DartWorld.NumAllocs()
+	baseGMRs := j.DartWorld.Inner.NumGMRs()
+	injected := errors.New("injected attach fault")
+	j.DartWorld.SetAttachFault(func(bytes int) error { return injected })
+
+	err = j.Eng.Run(4, func(p *sim.Proc) {
+		rt := j.Runtime(p)
+		if _, err := rt.Malloc(4096); !errors.Is(err, injected) {
+			t.Errorf("rank %d: Malloc error = %v, want injected fault", rt.Rank(), err)
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			if n := j.DartWorld.NumAllocs(); n != baseAllocs {
+				t.Errorf("dart allocs after failed Malloc = %d, want %d", n, baseAllocs)
+			}
+			if n := j.DartWorld.Inner.NumGMRs(); n != baseGMRs {
+				t.Errorf("inner GMRs after failed Malloc = %d, want %d (leak)", n, baseGMRs)
+			}
+			j.DartWorld.SetAttachFault(nil)
+		}
+		rt.Barrier()
+		// The fault is cleared; a full cycle must still succeed.
+		addrs, err := rt.Malloc(4096)
+		must(t, err)
+		rt.Barrier()
+		must(t, rt.Free(addrs[rt.Rank()]))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := j.DartWorld.NumAllocs(); n != baseAllocs {
+		t.Errorf("dart allocs at end = %d, want %d", n, baseAllocs)
+	}
+	if n := j.DartWorld.Inner.NumGMRs(); n != baseGMRs {
+		t.Errorf("inner GMRs at end = %d, want %d", n, baseGMRs)
+	}
+}
+
+// TestDartMallocGroupAttachFaultCleanup is the group-allocation twin:
+// the injected attach failure must release the inner group GMR.
+func TestDartMallocGroupAttachFaultCleanup(t *testing.T) {
+	rec := obs.New(obs.Options{})
+	j, err := NewJobObs(TestPlatform(), 6, ImplDartMPI, armcimpi.DefaultOptions(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAllocs := j.DartWorld.NumAllocs()
+	baseGMRs := j.DartWorld.Inner.NumGMRs()
+	injected := errors.New("injected group attach fault")
+
+	err = j.Eng.Run(6, func(p *sim.Proc) {
+		rt := j.Runtime(p)
+		g, err := rt.GroupCreateCollective([]int{1, 2, 4})
+		must(t, err)
+		if rt.Rank() == 0 {
+			j.DartWorld.SetAttachFault(func(bytes int) error { return injected })
+		}
+		rt.Barrier()
+		if g != nil {
+			if _, err := rt.MallocGroup(g, 2048); !errors.Is(err, injected) {
+				t.Errorf("rank %d: MallocGroup error = %v, want injected fault", rt.Rank(), err)
+			}
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			if n := j.DartWorld.NumAllocs(); n != baseAllocs {
+				t.Errorf("dart allocs after failed MallocGroup = %d, want %d", n, baseAllocs)
+			}
+			if n := j.DartWorld.Inner.NumGMRs(); n != baseGMRs {
+				t.Errorf("inner GMRs after failed MallocGroup = %d, want %d (leak)", n, baseGMRs)
+			}
+			j.DartWorld.SetAttachFault(nil)
+		}
+		rt.Barrier()
+		if g != nil {
+			addrs, err := rt.MallocGroup(g, 2048)
+			must(t, err)
+			must(t, rt.FreeGroup(g, addrs[g.RankOf(rt.Rank())]))
+		}
+		rt.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := j.DartWorld.Inner.NumGMRs(); n != baseGMRs {
+		t.Errorf("inner GMRs at end = %d, want %d", n, baseGMRs)
+	}
+}
+
+// TestDartManyAllocsSpanIndex is the regression test for the sorted
+// span index replacing the O(#allocs) scan in dartmpi.World.find: with
+// dozens of live allocations of varied sizes, ops addressed into the
+// middle of each one must resolve to the right allocation and offset
+// on every locality tier, and out-of-order frees must keep the index
+// consistent down to empty.
+func TestDartManyAllocsSpanIndex(t *testing.T) {
+	const nAlloc = 48
+	rec := obs.New(obs.Options{})
+	j, err := NewJobObs(TestPlatform(), 4, ImplDartMPI, armcimpi.DefaultOptions(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = j.Eng.Run(4, func(p *sim.Proc) {
+		rt := j.Runtime(p)
+		all := make([][]armci.Addr, nAlloc)
+		for k := range all {
+			addrs, err := rt.Malloc(96 + 32*(k%5))
+			must(t, err)
+			all[k] = addrs
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			if n := j.DartWorld.NumAllocs(); n != nAlloc {
+				t.Errorf("live allocs = %d, want %d", n, nAlloc)
+			}
+			src := rt.MallocLocal(64)
+			dst := rt.MallocLocal(64)
+			// Write a distinct pattern into the middle of every
+			// allocation: rank 1 is same-node, ranks 2 and 3 remote on
+			// the test platform's 2-core nodes, so the lookup is
+			// exercised on every tier.
+			for k := 0; k < nAlloc; k++ {
+				target := 1 + k%3
+				fill(t, rt, src, 64, func(i int) byte { return byte(k*7 + i) })
+				must(t, rt.Put(src, all[k][target].Add(8*(k%4)), 64))
+			}
+			// Read back in reverse order; a wrong span resolution
+			// returns another allocation's bytes.
+			for k := nAlloc - 1; k >= 0; k-- {
+				target := 1 + k%3
+				must(t, rt.Get(all[k][target].Add(8*(k%4)), dst, 64))
+				b, err := rt.LocalBytes(dst, 64)
+				must(t, err)
+				for i := range b {
+					if b[i] != byte(k*7+i) {
+						t.Fatalf("alloc %d byte %d = %d, want %d", k, i, b[i], byte(k*7+i))
+					}
+				}
+			}
+			must(t, rt.FreeLocal(src))
+			must(t, rt.FreeLocal(dst))
+		}
+		rt.Barrier()
+		// Free out of order — evens ascending, then odds descending —
+		// so unregister removes from the middle of the span lists.
+		for k := 0; k < nAlloc; k += 2 {
+			must(t, rt.Free(all[k][rt.Rank()]))
+		}
+		for k := nAlloc - 1; k >= 1; k -= 2 {
+			must(t, rt.Free(all[k][rt.Rank()]))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := j.DartWorld.NumAllocs(); n != 0 {
+		t.Errorf("live allocs at end = %d, want 0", n)
+	}
+	if n := j.DartWorld.Inner.NumGMRs(); n != 0 {
+		t.Errorf("inner GMRs at end = %d, want 0", n)
+	}
+}

@@ -44,6 +44,12 @@ func ImplNames() []string {
 	return []string{string(ImplNative), string(ImplARMCIMPI), string(ImplDataServer), string(ImplDartMPI)}
 }
 
+// Sched selects the engine execution mode for every job the harness
+// builds. The zero value (goroutine mode) is the default and the
+// reference; cmd/armci-bench installs continuation mode from -sched.
+// Callers that need a per-job override set Job.Eng.Mode before Run.
+var Sched sim.Mode
+
 // ParseImpl validates an implementation name from a CLI flag.
 func ParseImpl(s string) (Impl, error) {
 	switch Impl(s) {
@@ -87,6 +93,7 @@ func NewJobObs(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Opti
 		par.Flops *= float64(par.CoresPerNode-1) / float64(par.CoresPerNode)
 	}
 	eng := sim.NewEngine()
+	eng.Mode = Sched
 	m, err := fabric.NewMachine(eng, par, nranks)
 	if err != nil {
 		return nil, err

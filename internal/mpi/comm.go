@@ -30,6 +30,12 @@ func (c *Comm) WorldRank(r int) int { return c.group[r] }
 // Group returns a copy of the communicator's world-rank group.
 func (c *Comm) Group() []int { return append([]int(nil), c.group...) }
 
+// GroupShared returns the communicator's world-rank group without
+// copying. The slice is shared (for CommWorld, by every rank of the
+// job) and must be treated as read-only; use it where a per-rank copy
+// of an N-entry table would multiply to N² at scale.
+func (c *Comm) GroupShared() []int { return c.group }
+
 // ContextID returns the communicator's context id (diagnostics only).
 func (c *Comm) ContextID() int { return c.cid }
 
@@ -61,11 +67,24 @@ func (c *Comm) Dup() *Comm {
 	return c.Split(0, c.rank)
 }
 
+// BigCommThreshold is the communicator size at which collective
+// metadata exchanges (Split, window creation, allocation address
+// tables) switch from symmetric allgather algorithms to
+// gather-at-root: with every rank lock-stepped through the same
+// collective, an allgather materializes an N-vector on all N ranks
+// simultaneously (N² aggregate), which is what capped earlier sweeps
+// at a few hundred ranks. The threshold sits above every guarded
+// figure configuration, so existing artifacts stay byte-identical.
+const BigCommThreshold = 4096
+
 // Split partitions the communicator by color; ranks passing the same
 // color form a new communicator ordered by (key, rank). A negative
 // color (MPI_UNDEFINED) yields a nil communicator for that rank.
 // Collective over the communicator.
 func (c *Comm) Split(color, key int) *Comm {
+	if c.Size() >= BigCommThreshold {
+		return c.splitBig(color, key)
+	}
 	type ck struct{ color, key, rank int }
 	// Exchange (color,key) with everyone.
 	mine := []int64{int64(color), int64(key)}
@@ -118,6 +137,108 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	colorIdx := sort.SearchInts(colors, color)
 	return &Comm{r: c.r, cid: base + colorIdx, group: group, rank: myRank}
+}
+
+// splitBig is Split for communicators at or above BigCommThreshold:
+// rank 0 gathers every (color, key) pair, computes the partition once,
+// and scatters each member its (cid, rank, group) — so the full
+// N-entry pair table exists on one rank instead of all N. The common
+// identity partition (every rank, parent order — what Dup produces) is
+// detected and answered with a broadcast alone, sharing the parent's
+// group slice.
+func (c *Comm) splitBig(color, key int) *Comm {
+	n := c.Size()
+	type ck struct{ color, key, rank int }
+	parts := c.Gather(0, i64sToBytes([]int64{int64(color), int64(key)}))
+	var pairs []ck
+	var colors []int
+	hdr := make([]int64, 2)
+	if c.rank == 0 {
+		pairs = make([]ck, n)
+		colorSet := map[int]bool{}
+		for i, p := range parts {
+			v := bytesToI64s(p)
+			pairs[i] = ck{color: int(v[0]), key: int(v[1]), rank: i}
+			if pairs[i].color >= 0 {
+				colorSet[pairs[i].color] = true
+			}
+		}
+		colors = make([]int, 0, len(colorSet))
+		for col := range colorSet {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		base := c.r.W.allocCids(len(colors))
+		identity := int64(0)
+		if len(colors) == 1 && pairs[0].color >= 0 {
+			identity = 1
+			for i := range pairs {
+				if pairs[i].color != pairs[0].color || (i > 0 && pairs[i].key < pairs[i-1].key) {
+					identity = 0
+					break
+				}
+			}
+		}
+		hdr[0], hdr[1] = int64(base), identity
+	}
+	hdr = c.bcastI64(0, hdr)
+	base, identity := int(hdr[0]), hdr[1] == 1
+	if identity {
+		return &Comm{r: c.r, cid: base, group: c.group, rank: c.rank}
+	}
+	c.collSeq++
+	tag := c.collTag(0)
+	if c.rank != 0 {
+		data, _ := c.Recv(0, tag)
+		v := bytesToI64s(data)
+		if v[0] < 0 {
+			return nil
+		}
+		return &Comm{r: c.r, cid: int(v[0]), group: i64sToInts(v[2:]), rank: int(v[1])}
+	}
+	// Root: build each color's group ordered by (key, rank) and send
+	// every member its view.
+	byColor := map[int][]ck{}
+	for _, p := range pairs {
+		if p.color >= 0 {
+			byColor[p.color] = append(byColor[p.color], p)
+		}
+	}
+	var mine *Comm
+	if color < 0 {
+		mine = nil
+	}
+	for idx, col := range colors {
+		members := byColor[col]
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].key != members[j].key {
+				return members[i].key < members[j].key
+			}
+			return members[i].rank < members[j].rank
+		})
+		group := make([]int, len(members))
+		for i, m := range members {
+			group[i] = c.group[m.rank]
+		}
+		for i, m := range members {
+			if m.rank == 0 {
+				mine = &Comm{r: c.r, cid: base + idx, group: group, rank: i}
+				continue
+			}
+			msg := make([]int64, 2+len(group))
+			msg[0], msg[1] = int64(base+idx), int64(i)
+			for j, g := range group {
+				msg[2+j] = int64(g)
+			}
+			c.Send(m.rank, tag, i64sToBytes(msg))
+		}
+	}
+	for _, p := range pairs {
+		if p.color < 0 && p.rank != 0 {
+			c.Send(p.rank, tag, i64sToBytes([]int64{-1}))
+		}
+	}
+	return mine
 }
 
 // Intercomm is one rank's view of an intercommunicator: a local

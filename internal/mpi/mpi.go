@@ -112,6 +112,11 @@ type World struct {
 	// (lock waits, epochs, op issue→remote-complete, datatype packs).
 	// All hooks are nil-safe no-ops.
 	Obs *obs.Recorder
+
+	// worldGroup is the identity group [0..N) shared by every rank's
+	// CommWorld — one slice for the job, not one per rank, which
+	// matters at 16k ranks (a per-rank copy would be N² ints).
+	worldGroup []int
 }
 
 // NewWorld creates MPI state for all ranks of machine m with the given
@@ -138,14 +143,18 @@ type Rank struct {
 }
 
 // Rank binds the calling rank's sim context to the world and returns
-// its MPI handle, with CommWorld ready.
+// its MPI handle, with CommWorld ready. All ranks share one immutable
+// world-group slice.
 func (w *World) Rank(p *sim.Proc) *Rank {
-	r := &Rank{W: w, P: p}
-	group := make([]int, w.N)
-	for i := range group {
-		group[i] = i
+	if w.worldGroup == nil {
+		g := make([]int, w.N)
+		for i := range g {
+			g[i] = i
+		}
+		w.worldGroup = g
 	}
-	r.world = &Comm{r: r, cid: 0, group: group, rank: p.ID()}
+	r := &Rank{W: w, P: p}
+	r.world = &Comm{r: r, cid: 0, group: w.worldGroup, rank: p.ID()}
 	return r
 }
 

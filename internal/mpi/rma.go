@@ -127,6 +127,15 @@ func (ws *winState) setErr(err error) {
 	}
 }
 
+// lockAt returns target's arbitration state, materializing it on first
+// use — most targets of a large window are never locked by anyone.
+func (ws *winState) lockAt(target int) *targetLock {
+	if ws.locks[target] == nil {
+		ws.locks[target] = &targetLock{}
+	}
+	return ws.locks[target]
+}
+
 // Win is one rank's handle on a window.
 type Win struct {
 	state *winState
@@ -182,39 +191,46 @@ func WinCreateShared(comm *Comm, region *fabric.Region) (*Win, error) {
 func winCreate(comm *Comm, region *fabric.Region, shared bool) (*Win, error) {
 	r := comm.r
 	w := r.W
-	// Rank 0 allocates the window id; bcast carries real cost.
-	var id int
-	if comm.rank == 0 {
-		id = w.nextWin
-		w.nextWin++
-	}
-	id = int(comm.bcastI64(0, []int64{int64(id)})[0])
-	// Exchange sizes (the allgather is part of MPI_Win_create's cost).
 	var sz int64
 	if region != nil {
 		sz = int64(region.Len)
 	}
-	sizes := comm.allgatherI64([]int64{sz})
-	ws, ok := w.wins[id]
-	if !ok {
-		ws = &winState{
-			id:      id,
-			w:       w,
-			group:   comm.Group(),
-			regions: make([]*fabric.Region, comm.Size()),
-			sizes:   make([]int, comm.Size()),
-			locks:   make([]*targetLock, comm.Size()),
-			shared:  shared,
+	var id int
+	if comm.Size() >= BigCommThreshold {
+		// Large windows: gather the sizes at rank 0 instead of
+		// allgathering — the N-entry size table exists once, on the rank
+		// that builds the shared window state, not on all N lock-stepped
+		// ranks at once. Rank 0 must build the state before broadcasting
+		// the id, since peers look it up as soon as the id arrives.
+		parts := comm.Gather(0, i64sToBytes([]int64{sz}))
+		if comm.rank == 0 {
+			id = w.nextWin
+			w.nextWin++
+			ws := newWinState(id, w, comm, shared)
+			for i, p := range parts {
+				ws.sizes[i] = int(bytesToI64s(p)[0])
+			}
+			w.wins[id] = ws
 		}
-		if shared {
-			ws.segs = map[int]*fabric.ShmSegment{}
+		id = int(comm.bcastI64(0, []int64{int64(id)})[0])
+	} else {
+		// Rank 0 allocates the window id; bcast carries real cost.
+		if comm.rank == 0 {
+			id = w.nextWin
+			w.nextWin++
 		}
-		for i := range ws.locks {
-			ws.locks[i] = &targetLock{}
-			ws.sizes[i] = int(sizes[i])
+		id = int(comm.bcastI64(0, []int64{int64(id)})[0])
+		// Exchange sizes (the allgather is part of MPI_Win_create's cost).
+		sizes := comm.allgatherI64([]int64{sz})
+		if _, ok := w.wins[id]; !ok {
+			ws := newWinState(id, w, comm, shared)
+			for i := range ws.sizes {
+				ws.sizes[i] = int(sizes[i])
+			}
+			w.wins[id] = ws
 		}
-		w.wins[id] = ws
 	}
+	ws := w.wins[id]
 	ws.regions[comm.rank] = region
 	if ws.shared && region != nil && region.Len > 0 {
 		node := w.M.NodeOf(r.ID())
@@ -233,6 +249,25 @@ func winCreate(comm *Comm, region *fabric.Region, shared bool) (*Win, error) {
 	}
 	comm.Barrier()
 	return &Win{state: ws, comm: comm, rank: comm.rank}, nil
+}
+
+// newWinState builds the shared window state skeleton. The group slice
+// is shared with the creating communicator (window groups are
+// immutable); target locks materialize lazily via lockAt.
+func newWinState(id int, w *World, comm *Comm, shared bool) *winState {
+	ws := &winState{
+		id:      id,
+		w:       w,
+		group:   comm.group,
+		regions: make([]*fabric.Region, comm.Size()),
+		sizes:   make([]int, comm.Size()),
+		locks:   make([]*targetLock, comm.Size()),
+		shared:  shared,
+	}
+	if shared {
+		ws.segs = map[int]*fabric.ShmSegment{}
+	}
+	return ws
 }
 
 // Shared reports whether the window was created with
@@ -337,7 +372,7 @@ func (w *Win) Lock(lt LockType, target int) error {
 	reqAt := r.P.Now()
 	r.opOverhead()
 	ws := w.state
-	tl := ws.locks[target]
+	tl := ws.lockAt(target)
 	targetWorld := ws.group[target]
 	eng := r.W.M.Eng
 	p := r.P
@@ -445,7 +480,7 @@ func (w *Win) Unlock(target int) error {
 	r := w.comm.r
 	r.opOverhead()
 	ws := w.state
-	tl := ws.locks[target]
+	tl := ws.lockAt(target)
 	targetWorld := ws.group[target]
 	eng := r.W.M.Eng
 	p := r.P
@@ -580,7 +615,7 @@ func (w *Win) checkEpochOp(ep *epoch, target int, newRng rng) error {
 		}
 	}
 	ep.ranges = append(ep.ranges, newRng)
-	tl := ws.locks[target]
+	tl := ws.lockAt(target)
 	for _, h := range tl.holders {
 		if h == ep.active {
 			continue
@@ -930,7 +965,7 @@ func (w *Win) Accumulate(buf LocalBuf, op Op, target, tdisp int, ttype Datatype)
 	targetWorld := w.state.group[target]
 	treg := w.state.regions[target]
 	ws := w.state
-	tl := w.state.locks[target]
+	tl := w.state.lockAt(target)
 	arrive := m.SendDataAsync(r.ID(), targetWorld, len(data), fabric.XferOpt{Rate: rate}) + r.progressDelay()
 	origin := r.ID()
 	pr := r.W.Obs.Prof()
@@ -994,7 +1029,7 @@ func (w *Win) shmAccumulate(buf LocalBuf, op Op, target, tdisp int, ttype Dataty
 	src := buf.Region.Bytes(buf.Region.VA+int64(buf.Off), buf.Type.Span())
 	data := packFrom(src, buf.Type)
 	treg, _ := w.SharedQuery(target)
-	tl := w.state.locks[target]
+	tl := w.state.lockAt(target)
 	t0q := r.P.Now()
 	start := t0q
 	if tl.accBusy > start {

@@ -306,7 +306,7 @@ func (w *Win) FetchAndOp(op Op, operand int64, target, tdisp int) (int64, error)
 	p := r.P
 	targetWorld := w.state.group[target]
 	treg := w.state.regions[target]
-	tl := w.state.locks[target]
+	tl := w.state.lockAt(target)
 	ws := w.state
 	var old int64
 	if w.shmFast(target) {
@@ -425,7 +425,7 @@ func (w *Win) CompareAndSwap(compare, swapv int64, target, tdisp int) (int64, er
 	p := r.P
 	targetWorld := w.state.group[target]
 	treg := w.state.regions[target]
-	tl := w.state.locks[target]
+	tl := w.state.lockAt(target)
 	ws := w.state
 	var old int64
 	if w.shmFast(target) {

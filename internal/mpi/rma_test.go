@@ -37,7 +37,7 @@ func TestPutThenGetRoundTrip(t *testing.T) {
 	withWin(t, 2, 64, func(r *Rank, win *Win, reg *fabric.Region) {
 		if r.ID() == 0 {
 			src := r.AllocMem(16)
-			copy(src.Data, []byte("hello, window!!!"))
+			copy(src.Backing(), []byte("hello, window!!!"))
 			must(t, win.Lock(LockExclusive, 1))
 			must(t, win.Put(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(16)}, 1, 8, TypeContiguous(16)))
 			must(t, win.Unlock(1))
@@ -46,13 +46,13 @@ func TestPutThenGetRoundTrip(t *testing.T) {
 			must(t, win.Lock(LockExclusive, 1))
 			must(t, win.Get(LocalBuf{Region: dst, Off: 0, Type: TypeContiguous(16)}, 1, 8, TypeContiguous(16)))
 			must(t, win.Unlock(1))
-			if string(dst.Data) != "hello, window!!!" {
-				t.Errorf("round trip got %q", dst.Data)
+			if string(dst.Backing()) != "hello, window!!!" {
+				t.Errorf("round trip got %q", dst.Backing())
 			}
 		}
 		win.Comm().Barrier()
-		if r.ID() == 1 && string(reg.Data[8:24]) != "hello, window!!!" {
-			t.Errorf("target memory = %q", reg.Data[8:24])
+		if r.ID() == 1 && string(reg.Backing()[8:24]) != "hello, window!!!" {
+			t.Errorf("target memory = %q", reg.Backing()[8:24])
 		}
 	})
 }
@@ -60,7 +60,7 @@ func TestPutThenGetRoundTrip(t *testing.T) {
 func TestGetNotVisibleBeforeUnlock(t *testing.T) {
 	withWin(t, 2, 8, func(r *Rank, win *Win, reg *fabric.Region) {
 		if r.ID() == 1 {
-			copy(reg.Data, []byte("ABCDEFGH"))
+			copy(reg.Backing(), []byte("ABCDEFGH"))
 		}
 		win.Comm().Barrier()
 		if r.ID() == 0 {
@@ -69,12 +69,12 @@ func TestGetNotVisibleBeforeUnlock(t *testing.T) {
 			must(t, win.Get(LocalBuf{Region: dst, Off: 0, Type: TypeContiguous(8)}, 1, 0, TypeContiguous(8)))
 			// Nonblocking: data need not be here yet (it isn't, since
 			// delivery takes latency).
-			if string(dst.Data) == "ABCDEFGH" {
+			if string(dst.Backing()) == "ABCDEFGH" {
 				t.Log("data arrived early; acceptable but unexpected with nonzero latency")
 			}
 			must(t, win.Unlock(1))
-			if string(dst.Data) != "ABCDEFGH" {
-				t.Errorf("after unlock: %q", dst.Data)
+			if string(dst.Backing()) != "ABCDEFGH" {
+				t.Errorf("after unlock: %q", dst.Backing())
 			}
 		}
 	})
@@ -85,13 +85,13 @@ func TestAccumulateSums(t *testing.T) {
 		// All ranks accumulate 4 float64s of value rank+1 into rank 0.
 		src := r.AllocMem(32)
 		vals := []float64{float64(r.ID() + 1), 1, 2, 3}
-		copy(src.Data, f64sToBytes(vals))
+		copy(src.Backing(), f64sToBytes(vals))
 		must(t, win.Lock(LockExclusive, 0))
 		must(t, win.Accumulate(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(32)}, OpSum, 0, 0, TypeContiguous(32)))
 		must(t, win.Unlock(0))
 		win.Comm().Barrier()
 		if r.ID() == 0 {
-			got := bytesToF64s(reg.Data)
+			got := bytesToF64s(reg.Backing())
 			if got[0] != 1+2+3 || got[1] != 3 || got[3] != 9 {
 				t.Errorf("accumulated = %v", got)
 			}
@@ -103,14 +103,14 @@ func TestAccumulateReplaceActsAsPut(t *testing.T) {
 	withWin(t, 2, 16, func(r *Rank, win *Win, reg *fabric.Region) {
 		if r.ID() == 0 {
 			src := r.AllocMem(16)
-			copy(src.Data, f64sToBytes([]float64{4.5, -2}))
+			copy(src.Backing(), f64sToBytes([]float64{4.5, -2}))
 			must(t, win.Lock(LockExclusive, 1))
 			must(t, win.Accumulate(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(16)}, OpReplace, 1, 0, TypeContiguous(16)))
 			must(t, win.Unlock(1))
 		}
 		win.Comm().Barrier()
 		if r.ID() == 1 {
-			got := bytesToF64s(reg.Data)
+			got := bytesToF64s(reg.Backing())
 			if got[0] != 4.5 || got[1] != -2 {
 				t.Errorf("replace = %v", got)
 			}
@@ -124,8 +124,8 @@ func TestStridedPutWithDatatypes(t *testing.T) {
 			// Origin: 3 blocks of 4 bytes, stride 8. Target: 3 blocks of
 			// 4 bytes, stride 10, at displacement 5.
 			src := r.AllocMem(24)
-			for i := range src.Data {
-				src.Data[i] = byte(i)
+			for i := range src.Backing() {
+				src.Backing()[i] = byte(i)
 			}
 			ot := TypeVector(3, 4, 8)
 			tt := TypeVector(3, 4, 10)
@@ -139,12 +139,12 @@ func TestStridedPutWithDatatypes(t *testing.T) {
 			wantPairs := [][2]int{{5, 0}, {15, 8}, {25, 16}}
 			for _, wp := range wantPairs {
 				for k := 0; k < 4; k++ {
-					if reg.Data[wp[0]+k] != byte(wp[1]+k) {
-						t.Fatalf("byte at %d = %d, want %d", wp[0]+k, reg.Data[wp[0]+k], wp[1]+k)
+					if reg.Backing()[wp[0]+k] != byte(wp[1]+k) {
+						t.Fatalf("byte at %d = %d, want %d", wp[0]+k, reg.Backing()[wp[0]+k], wp[1]+k)
 					}
 				}
 			}
-			if reg.Data[9] != 0 || reg.Data[4] != 0 {
+			if reg.Backing()[9] != 0 || reg.Backing()[4] != 0 {
 				t.Error("gap bytes were written")
 			}
 		}
@@ -274,7 +274,7 @@ func TestSameOpAccumulatesMayOverlap(t *testing.T) {
 			return
 		}
 		src := r.AllocMem(16)
-		copy(src.Data, f64sToBytes([]float64{1, 1}))
+		copy(src.Backing(), f64sToBytes([]float64{1, 1}))
 		must(t, win.Lock(LockExclusive, 1))
 		must(t, win.Accumulate(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(16)}, OpSum, 1, 0, TypeContiguous(16)))
 		must(t, win.Accumulate(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(16)}, OpSum, 1, 0, TypeContiguous(16)))
@@ -283,7 +283,7 @@ func TestSameOpAccumulatesMayOverlap(t *testing.T) {
 		must(t, win.Lock(LockShared, 1))
 		must(t, win.Get(LocalBuf{Region: dst, Off: 0, Type: TypeContiguous(16)}, 1, 0, TypeContiguous(16)))
 		must(t, win.Unlock(1))
-		got := bytesToF64s(dst.Data)
+		got := bytesToF64s(dst.Backing())
 		if got[0] != 2 || got[1] != 2 {
 			t.Errorf("double accumulate = %v", got)
 		}
@@ -323,8 +323,8 @@ func TestEpochCompletionSemantics(t *testing.T) {
 	withWin(t, 2, 1<<20, func(r *Rank, win *Win, reg *fabric.Region) {
 		if r.ID() == 0 {
 			src := r.AllocMem(1 << 20)
-			for i := range src.Data {
-				src.Data[i] = byte(i * 31)
+			for i := range src.Backing() {
+				src.Backing()[i] = byte(i * 31)
 			}
 			must(t, win.Lock(LockExclusive, 1))
 			must(t, win.Put(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(1 << 20)}, 1, 0, TypeContiguous(1<<20)))
@@ -335,9 +335,9 @@ func TestEpochCompletionSemantics(t *testing.T) {
 			must(t, win.Lock(LockShared, 1))
 			must(t, win.Get(LocalBuf{Region: dst, Off: 0, Type: TypeContiguous(1 << 20)}, 1, 0, TypeContiguous(1<<20)))
 			must(t, win.Unlock(1))
-			for i := 0; i < len(dst.Data); i += 4097 {
-				if dst.Data[i] != byte(i*31) {
-					t.Fatalf("byte %d = %d, want %d", i, dst.Data[i], byte(i*31))
+			for i := 0; i < len(dst.Backing()); i += 4097 {
+				if dst.Backing()[i] != byte(i*31) {
+					t.Fatalf("byte %d = %d, want %d", i, dst.Backing()[i], byte(i*31))
 				}
 			}
 		}
@@ -388,7 +388,7 @@ func TestMPI3FetchAndOp(t *testing.T) {
 		must(t, win.UnlockAll())
 		win.Comm().Barrier()
 		if r.ID() == 0 {
-			got := bytesToI64s(reg.Data[:8])[0]
+			got := bytesToI64s(reg.Backing()[:8])[0]
 			if got != 1+2+3 {
 				t.Errorf("counter = %d, want 6", got)
 			}
@@ -448,7 +448,7 @@ func TestMPI3CompareAndSwap(t *testing.T) {
 		}
 		win.Comm().Barrier()
 		if r.ID() == 1 {
-			got := bytesToI64s(reg.Data)[0]
+			got := bytesToI64s(reg.Backing())[0]
 			if got != 42 {
 				t.Errorf("value = %d, want 42 (failed CAS must not write)", got)
 			}
@@ -465,7 +465,7 @@ func TestMPI3RPutRGetFlush(t *testing.T) {
 		must(t, err)
 		if r.ID() == 0 {
 			src := r.AllocMem(8)
-			copy(src.Data, []byte("RMA3!!!!"))
+			copy(src.Backing(), []byte("RMA3!!!!"))
 			must(t, win.LockAll())
 			req, err := win.RPut(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(8)}, 1, 0, TypeContiguous(8))
 			must(t, err)
@@ -476,8 +476,8 @@ func TestMPI3RPutRGetFlush(t *testing.T) {
 			must(t, err)
 			greq.Wait()
 			must(t, win.Flush(1))
-			if string(dst.Data) != "RMA3!!!!" {
-				t.Errorf("rget = %q", dst.Data)
+			if string(dst.Backing()) != "RMA3!!!!" {
+				t.Errorf("rget = %q", dst.Backing())
 			}
 			must(t, win.UnlockAll())
 		}
@@ -570,7 +570,7 @@ func TestCrossOriginSharedAccumulatesAllowed(t *testing.T) {
 			return
 		}
 		src := r.AllocMem(16)
-		copy(src.Data, f64sToBytes([]float64{1, 2}))
+		copy(src.Backing(), f64sToBytes([]float64{1, 2}))
 		must(t, win.Lock(LockShared, 2))
 		r.P.Elapse(sim.Time(10+r.ID()) * sim.Microsecond)
 		must(t, win.Accumulate(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(16)}, OpSum, 2, 0, TypeContiguous(16)))
@@ -585,21 +585,21 @@ func TestActiveTargetFenceEpochs(t *testing.T) {
 	withWin(t, 4, 64, func(r *Rank, win *Win, reg *fabric.Region) {
 		must(t, win.FenceSync()) // open the epoch
 		src := r.AllocMem(8)
-		copy(src.Data, []byte{byte(r.ID() + 1)})
+		copy(src.Backing(), []byte{byte(r.ID() + 1)})
 		next := (r.ID() + 1) % 4
 		must(t, win.FPut(LocalBuf{Region: src, Off: 0, Type: TypeContiguous(8)}, next, 0, TypeContiguous(8)))
 		must(t, win.FenceSync()) // complete the epoch
 		prev := byte((r.ID()+3)%4 + 1)
-		if reg.Data[0] != prev {
-			t.Errorf("rank %d: window byte = %d, want %d after fence", r.ID(), reg.Data[0], prev)
+		if reg.Backing()[0] != prev {
+			t.Errorf("rank %d: window byte = %d, want %d after fence", r.ID(), reg.Backing()[0], prev)
 		}
 		// Second epoch: everyone accumulates into rank 0.
 		fsrc := r.AllocMem(8)
-		copy(fsrc.Data, f64sToBytes([]float64{1}))
+		copy(fsrc.Backing(), f64sToBytes([]float64{1}))
 		must(t, win.FAccumulate(LocalBuf{Region: fsrc, Off: 0, Type: TypeContiguous(8)}, OpSum, 0, 8, TypeContiguous(8)))
 		must(t, win.FenceExit())
 		if r.ID() == 0 {
-			if got := bytesToF64s(reg.Data[8:16])[0]; got != 4 {
+			if got := bytesToF64s(reg.Backing()[8:16])[0]; got != 4 {
 				t.Errorf("fenced accumulate = %v, want 4", got)
 			}
 		}

@@ -119,8 +119,11 @@ func (r *Recorder) BeginJob(label string, clock Clock, nranks int) {
 	r.job = label
 	r.clock = clock
 	r.nranks = nranks
-	r.parkAt = make([]sim.Time, nranks)
-	r.parkWhy = make([]string, nranks)
+	// Park state is materialized lazily as ranks first park (appended
+	// records are zeroed even when the backing arrays are reused), so
+	// idle ranks of a large job cost nothing.
+	r.parkAt = r.parkAt[:0]
+	r.parkWhy = r.parkWhy[:0]
 	if r.tr != nil {
 		r.tr.meta(r.pid, label, nranks)
 	}
@@ -234,8 +237,12 @@ const (
 // RankParked implements sim.Observer: a rank blocked on a condition.
 // Pure time passage ("elapse") is not a wait and is not recorded.
 func (r *Recorder) RankParked(rank int, why string, at sim.Time) {
-	if r == nil || why == "elapse" || rank >= len(r.parkAt) {
+	if r == nil || why == "elapse" || rank < 0 {
 		return
+	}
+	for len(r.parkAt) <= rank {
+		r.parkAt = append(r.parkAt, 0)
+		r.parkWhy = append(r.parkWhy, "")
 	}
 	r.parkAt[rank] = at
 	r.parkWhy[rank] = why

@@ -259,30 +259,34 @@ func New() *Profiler {
 	return &Profiler{matrix: map[uint64]*Cell{}}
 }
 
-// BeginJob binds the profiler to a new job's clock and rank count.
-// Statistics accumulate across jobs; open scopes are discarded (each
-// job's virtual clock restarts at zero).
+// BeginJob binds the profiler to a new job's clock. Statistics
+// accumulate across jobs; open scopes are discarded (each job's
+// virtual clock restarts at zero). Per-rank scope records are
+// materialized lazily on first use — idle ranks of a large job cost
+// nothing — so nranks is only a hint and may be zero.
 func (p *Profiler) BeginJob(clock Clock, nranks int) {
 	if p == nil {
 		return
 	}
 	p.clock = clock
-	if cap(p.scopes) < nranks {
-		p.scopes = make([]scope, nranks)
-	} else {
-		p.scopes = p.scopes[:nranks]
-		for i := range p.scopes {
-			p.scopes[i] = scope{}
-		}
+	p.scopes = p.scopes[:0]
+}
+
+// scopeAt returns rank's scope record, growing the vector on demand
+// (appended records are zeroed even when the backing array is reused).
+func (p *Profiler) scopeAt(rank int) *scope {
+	for len(p.scopes) <= rank {
+		p.scopes = append(p.scopes, scope{})
 	}
+	return &p.scopes[rank]
 }
 
 // Begin opens (or nests into) rank's operation scope.
 func (p *Profiler) Begin(rank int, op Op) {
-	if p == nil || rank < 0 || rank >= len(p.scopes) || p.clock == nil {
+	if p == nil || rank < 0 || p.clock == nil {
 		return
 	}
-	sc := &p.scopes[rank]
+	sc := p.scopeAt(rank)
 	if sc.open {
 		sc.depth++
 		return

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func runWorkloadMode(t *testing.T, mode Mode, noInline bool) (Stats, []string, []string) {
+	t.Helper()
+	e := NewEngine()
+	e.Mode = mode
+	e.noInlineElapse = noInline
+	obs := &traceObs{}
+	e.Observe(obs)
+	var order []string
+	if err := e.Run(4, schedWorkload(e, &order)); err != nil {
+		t.Fatalf("mode=%v noInline=%v: %v", mode, noInline, err)
+	}
+	return e.Stats(), order, obs.log
+}
+
+// TestContinuationEquivalence proves ModeContinuation produces a
+// schedule byte-identical to the reference goroutine scheduler: same
+// rank interleaving, same virtual timestamps, same engine counters,
+// and the same observer callback sequence — with and without the
+// inline-Elapse fast path.
+func TestContinuationEquivalence(t *testing.T) {
+	for _, noInline := range []bool{false, true} {
+		name := "inline"
+		if noInline {
+			name = "noInline"
+		}
+		t.Run(name, func(t *testing.T) {
+			refStats, refOrder, refObs := runWorkloadMode(t, ModeGoroutine, noInline)
+			contStats, contOrder, contObs := runWorkloadMode(t, ModeContinuation, noInline)
+			if refStats != contStats {
+				t.Errorf("stats diverge: goroutine=%+v continuation=%+v", refStats, contStats)
+			}
+			if len(refOrder) != len(contOrder) {
+				t.Fatalf("order length: goroutine=%d continuation=%d\nref=%v\ncont=%v",
+					len(refOrder), len(contOrder), refOrder, contOrder)
+			}
+			for i := range refOrder {
+				if refOrder[i] != contOrder[i] {
+					t.Errorf("order[%d]: goroutine=%q continuation=%q", i, refOrder[i], contOrder[i])
+				}
+			}
+			if len(refObs) != len(contObs) {
+				t.Fatalf("observer length: goroutine=%d continuation=%d", len(refObs), len(contObs))
+			}
+			for i := range refObs {
+				if refObs[i] != contObs[i] {
+					t.Errorf("observer[%d]: goroutine=%q continuation=%q", i, refObs[i], contObs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestContinuationEquivalenceManyRanks stresses tie-breaks with
+// colliding elapse multiples across both modes.
+func TestContinuationEquivalenceManyRanks(t *testing.T) {
+	run := func(mode Mode) (Stats, []string) {
+		e := NewEngine()
+		e.Mode = mode
+		var order []string
+		err := e.Run(6, func(p *Proc) {
+			for i := 0; i < 12; i++ {
+				p.Elapse(Time(2 * (p.ID()%3 + 1)))
+				order = append(order, fmt.Sprintf("r%d@%d", p.ID(), p.Now()))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats(), order
+	}
+	refStats, refOrder := run(ModeGoroutine)
+	contStats, contOrder := run(ModeContinuation)
+	if refStats != contStats {
+		t.Errorf("stats diverge: goroutine=%+v continuation=%+v", refStats, contStats)
+	}
+	if len(refOrder) != len(contOrder) {
+		t.Fatalf("order length: goroutine=%d continuation=%d", len(refOrder), len(contOrder))
+	}
+	for i := range refOrder {
+		if refOrder[i] != contOrder[i] {
+			t.Fatalf("order[%d]: goroutine=%q continuation=%q", i, refOrder[i], contOrder[i])
+		}
+	}
+}
+
+// TestContinuationDeadlockDetection: continuation mode reports the same
+// Deadlock error as the reference scheduler.
+func TestContinuationDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Mode = ModeContinuation
+	err := e.Run(2, func(p *Proc) {
+		p.Elapse(5)
+		p.Park("never-signalled")
+	})
+	var d *Deadlock
+	if !errors.As(err, &d) {
+		t.Fatalf("want *Deadlock, got %v", err)
+	}
+	if len(d.Waiting) != 2 {
+		t.Fatalf("want 2 waiting ranks, got %v", d.Waiting)
+	}
+}
+
+// TestContinuationRankPanic: a rank panic surfaces as the run error in
+// continuation mode too.
+func TestContinuationRankPanic(t *testing.T) {
+	e := NewEngine()
+	e.Mode = ModeContinuation
+	err := e.Run(3, func(p *Proc) {
+		p.Elapse(Time(p.ID() + 1))
+		if p.ID() == 1 {
+			panic("boom")
+		}
+		p.Park("stuck")
+	})
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("want panic error containing boom, got %v", err)
+	}
+}
+
+// TestContinuationMaxTime: the virtual-time watchdog fires identically.
+func TestContinuationMaxTime(t *testing.T) {
+	e := NewEngine()
+	e.Mode = ModeContinuation
+	e.MaxTime = 100
+	err := e.Run(2, func(p *Proc) {
+		for {
+			p.Elapse(60)
+		}
+	})
+	var tl *ErrTimeLimit
+	if !errors.As(err, &tl) {
+		t.Fatalf("want *ErrTimeLimit, got %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// settledGoroutines waits for the runtime's goroutine count to drop to
+// at most want, tolerating scheduling delay after Run returns.
+func settledGoroutines(want int) int {
+	var n int
+	for i := 0; i < 100; i++ {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n
+}
+
+// TestNoGoroutineLeakOnPanic: a rank panic with peers parked must not
+// leak the parked ranks' goroutines — they are drained before Run
+// returns, in both modes.
+func TestNoGoroutineLeakOnPanic(t *testing.T) {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+		t.Run(mode.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			for iter := 0; iter < 50; iter++ {
+				e := NewEngine()
+				e.Mode = mode
+				err := e.Run(8, func(p *Proc) {
+					if p.ID() == 3 {
+						p.Elapse(10)
+						panic("kaboom")
+					}
+					p.Park("victim")
+				})
+				if err == nil || !contains(err.Error(), "kaboom") {
+					t.Fatalf("iter %d: want panic error, got %v", iter, err)
+				}
+			}
+			if after := settledGoroutines(before + 2); after > before+2 {
+				t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+			}
+		})
+	}
+}
+
+// TestNoGoroutineLeakOnDeadlock: deadlocked runs drain every parked
+// rank before returning.
+func TestNoGoroutineLeakOnDeadlock(t *testing.T) {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+		t.Run(mode.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			for iter := 0; iter < 50; iter++ {
+				e := NewEngine()
+				e.Mode = mode
+				err := e.Run(8, func(p *Proc) {
+					p.Park("forever")
+				})
+				var d *Deadlock
+				if !errors.As(err, &d) {
+					t.Fatalf("iter %d: want *Deadlock, got %v", iter, err)
+				}
+			}
+			if after := settledGoroutines(before + 2); after > before+2 {
+				t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+			}
+		})
+	}
+}
+
+// TestNoGoroutineLeakOnMaxTime: time-limit aborts drain too.
+func TestNoGoroutineLeakOnMaxTime(t *testing.T) {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+		t.Run(mode.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			for iter := 0; iter < 50; iter++ {
+				e := NewEngine()
+				e.Mode = mode
+				e.MaxTime = 50
+				err := e.Run(4, func(p *Proc) {
+					for {
+						p.Elapse(30)
+					}
+				})
+				var tl *ErrTimeLimit
+				if !errors.As(err, &tl) {
+					t.Fatalf("iter %d: want *ErrTimeLimit, got %v", iter, err)
+				}
+			}
+			if after := settledGoroutines(before + 2); after > before+2 {
+				t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+			}
+		})
+	}
+}
+
+// TestContinuationFiberReuse: ranks that never park all execute on a
+// bounded set of fibers — the run must not spawn one goroutine per
+// rank when bodies run to completion back-to-back.
+func TestContinuationFiberReuse(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	e.Mode = ModeContinuation
+	peak := 0
+	err := e.Run(10000, func(p *Proc) {
+		if p.ID()%1000 == 0 {
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > before+10 {
+		t.Fatalf("fiber reuse broken: %d goroutines live during a no-park run (baseline %d)", peak, before)
+	}
+}
+
+// TestParseMode covers the CLI surface.
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"goroutine", ModeGoroutine, true},
+		{"continuation", ModeContinuation, true},
+		{"fiber", 0, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseMode(%q): want error", tc.in)
+		}
+	}
+}
+
+// BenchmarkModeManyRanks compares scheduler overhead per mode with a
+// park-heavy interleaving workload.
+func BenchmarkModeManyRanks(b *testing.B) {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				e.Mode = mode
+				if err := e.Run(256, func(p *Proc) {
+					for j := 0; j < 16; j++ {
+						p.Elapse(Time(1 + p.ID()%7))
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,23 +1,45 @@
 // Package sim provides a deterministic discrete-event simulation engine
-// in which "ranks" (processes of a simulated parallel machine) execute as
-// goroutines under a cooperative scheduler. Exactly one goroutine — either
-// the scheduler or a single rank — is active at any instant, so every run
+// in which "ranks" (processes of a simulated parallel machine) execute
+// under a cooperative scheduler. Exactly one flow of control — the
+// scheduler or a single rank — is active at any instant, so every run
 // is bit-reproducible: virtual time advances only when the event heap is
 // popped, and ties are broken by insertion sequence.
 //
 // Higher layers (fabric, MPI, ARMCI) are built from three primitives:
 // Elapse (charge local virtual time), Park/Unpark (block a rank until a
 // condition is signalled), and At (schedule a handler at a future virtual
-// time). Handlers run in the scheduler goroutine and must not block.
+// time). Handlers run under the dispatcher and must not block.
+//
+// The engine has two execution modes, selected by the Mode field:
+//
+//   - ModeGoroutine (the default and the reference): every rank gets its
+//     own goroutine up front, and a central scheduler goroutine resumes
+//     one rank at a time over a channel rendezvous. Each park costs two
+//     hops (rank -> scheduler -> next rank).
+//
+//   - ModeContinuation: rank bodies run as resumable steps driven
+//     directly by the event loop. There is no scheduler goroutine; the
+//     dispatch loop (the captured continuation of the simulation) is
+//     executed by whichever rank is parking or finishing, and control
+//     transfers to the next runnable rank with a single wake. Fibers are
+//     spawned lazily at first dispatch, a finishing fiber keeps executing
+//     fresh rank bodies until one parks (run-to-completion batching), and
+//     wake slots are pooled, so a job's live goroutine count is the
+//     number of simultaneously parked ranks, not N. Proc records live in
+//     one slab. This is the mode that holds 16k-rank sweeps.
+//
+// Both modes share the event heap, the runnable FIFO, and the sequence
+// numbering, so they produce byte-identical schedules, Stats counters,
+// and observer callback streams (see TestContinuationEquivalence).
 //
 // The engine's own wall-clock cost is kept off the simulated results'
 // critical path by three mechanisms: events are value-typed in the heap
 // slice (the popped slots double as a free list, so scheduling allocates
 // nothing once the heap has grown), pure time-advance wakeups carry the
 // parked Proc instead of a closure, and Elapse takes an inline fast path
-// that advances the clock without the park/unpark channel ping-pong
-// whenever no earlier event or runnable rank could interleave. The fast
-// path consumes the same sequence number and counts the same Parks and
+// that advances the clock without any channel ping-pong whenever no
+// earlier event or runnable rank could interleave. The fast path
+// consumes the same sequence number and counts the same Parks and
 // Events as the slow path, so engine counters and every downstream
 // virtual-time result are byte-identical whichever path runs.
 package sim
@@ -70,6 +92,45 @@ func (t Time) String() string {
 		return fmt.Sprintf("%.3fus", float64(t)/1e3)
 	default:
 		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Mode selects the engine's execution strategy. Both modes produce
+// byte-identical virtual-time results; they differ only in host-side
+// goroutine and memory footprint.
+type Mode int
+
+const (
+	// ModeGoroutine runs one goroutine per rank under a central
+	// scheduler goroutine. The default and the reference semantics.
+	ModeGoroutine Mode = iota
+	// ModeContinuation runs rank bodies as resumable steps dispatched
+	// directly by the event loop: lazily spawned fibers, direct
+	// handoff, pooled wake slots, slab-allocated Proc records.
+	ModeContinuation
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGoroutine:
+		return "goroutine"
+	case ModeContinuation:
+		return "continuation"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses the String form of a Mode ("goroutine",
+// "continuation").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "goroutine":
+		return ModeGoroutine, nil
+	case "continuation":
+		return ModeContinuation, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler mode %q (want goroutine or continuation)", s)
 	}
 }
 
@@ -146,13 +207,14 @@ const (
 )
 
 // Proc is the execution context of one simulated rank. All Proc methods
-// must be called from the goroutine running that rank's body.
+// must be called from the flow of control running that rank's body.
 type Proc struct {
-	id    int
-	e     *Engine
-	state procState
-	why   string // what the proc is parked on, for deadlock reports
-	wake  chan struct{}
+	id      int
+	e       *Engine
+	state   procState
+	started bool   // continuation mode: fiber exists (or body has run)
+	why     string // what the proc is parked on, for deadlock reports
+	wake    chan struct{}
 }
 
 // ID returns the rank's id in [0, N).
@@ -177,8 +239,8 @@ type Observer interface {
 	RankResumed(rank int, at Time)
 }
 
-// Engine runs a fixed set of rank goroutines to completion under a
-// virtual clock.
+// Engine runs a fixed set of ranks to completion under a virtual
+// clock.
 type Engine struct {
 	now    Time
 	seq    int64
@@ -196,11 +258,30 @@ type Engine struct {
 	failure   error // first panic captured from a rank body
 	stats     Stats
 	obs       Observer
+	body      func(*Proc)
+
+	// Continuation-mode state: the root's completion channel, the pool
+	// of reusable wake slots, and the drain cursor.
+	rootDone chan error
+	chanPool []chan struct{}
+
+	// draining is set when the run is ending abnormally (rank panic,
+	// deadlock, or time limit): every remaining blocked rank is resumed
+	// once, in rank order, and unwinds via a drainSignal panic so its
+	// goroutine exits before Run returns.
+	draining    bool
+	drainErr    error
+	drainCursor int
 
 	// noInlineElapse disables Elapse's inline fast path; used by the
 	// scheduler-equivalence test to prove both paths produce identical
 	// schedules.
 	noInlineElapse bool
+
+	// Mode selects goroutine-per-rank or continuation dispatch. Set
+	// before Run; both modes are byte-identical in every virtual-time
+	// observable.
+	Mode Mode
 
 	// MaxTime, when nonzero, aborts Run with ErrTimeLimit once the
 	// virtual clock passes it — a watchdog against virtual livelock
@@ -243,7 +324,7 @@ func (e *Engine) Observe(o Observer) { e.obs = o }
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // It may be called from a rank body or from another handler. Handlers
-// run in the scheduler goroutine and must not block.
+// run under the dispatcher and must not block.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
@@ -265,6 +346,11 @@ func (e *Engine) atWake(t Time, p *Proc) {
 	e.events.push(event{at: t, seq: e.seq, wake: p})
 }
 
+// drainSignal is the panic value used to unwind a blocked rank body
+// when the run ends abnormally; the rank runner recognizes and
+// swallows it.
+type drainSignal struct{}
+
 // Elapse charges d nanoseconds of virtual time to the calling rank:
 // the rank blocks and resumes once the clock has advanced by d.
 //
@@ -276,14 +362,17 @@ func (e *Engine) atWake(t Time, p *Proc) {
 // dispatched event makes another rank runnable, that rank must run
 // before this one resumes, so Elapse falls back to a real park whose
 // wake event carries the reserved sequence number; every tie-break
-// then resolves exactly as the parked path would. Which goroutine
-// executes an event handler is invisible to the simulation, so the
-// two paths are indistinguishable in every virtual-time observable.
+// then resolves exactly as the parked path would. Which flow of
+// control executes an event handler is invisible to the simulation, so
+// the two paths are indistinguishable in every virtual-time observable.
 func (p *Proc) Elapse(d Time) {
 	if d <= 0 {
 		return
 	}
 	e := p.e
+	if e.draining {
+		panic(drainSignal{})
+	}
 	due := e.now + d
 	if e.noInlineElapse || e.rqLen > 0 || (e.MaxTime > 0 && due > e.MaxTime) {
 		e.atWake(due, p)
@@ -335,10 +424,17 @@ func (p *Proc) Elapse(d Time) {
 // both.
 func (p *Proc) parkReserved(why string) {
 	e := p.e
+	if e.Mode == ModeContinuation {
+		p.contPark(why, true)
+		return
+	}
 	p.state = stateParked
 	p.why = why
 	e.schedWake <- struct{}{}
 	<-p.wake
+	if e.draining {
+		panic(drainSignal{})
+	}
 	p.state = stateRunning
 	p.why = ""
 	if e.obs != nil {
@@ -350,6 +446,13 @@ func (p *Proc) parkReserved(why string) {
 // it. The why string is reported if the simulation deadlocks.
 func (p *Proc) Park(why string) {
 	e := p.e
+	if e.draining {
+		panic(drainSignal{})
+	}
+	if e.Mode == ModeContinuation {
+		p.contPark(why, false)
+		return
+	}
 	p.state = stateParked
 	p.why = why
 	e.stats.Parks++
@@ -358,6 +461,42 @@ func (p *Proc) Park(why string) {
 	}
 	e.schedWake <- struct{}{} // hand control to the scheduler
 	<-p.wake                  // wait to be resumed
+	if e.draining {
+		panic(drainSignal{})
+	}
+	p.state = stateRunning
+	p.why = ""
+	if e.obs != nil {
+		e.obs.RankResumed(p.id, e.now)
+	}
+}
+
+// contPark is the continuation-mode park: the parking rank itself
+// executes the dispatch loop (the simulation's continuation) and hands
+// control directly to the next runnable flow, then blocks on its
+// pooled wake slot until a wake event or Unpark resumes it. preCounted
+// marks parks whose statistics and observer callback were already
+// recorded by Elapse's inline path.
+func (p *Proc) contPark(why string, preCounted bool) {
+	e := p.e
+	if e.draining {
+		panic(drainSignal{})
+	}
+	p.state = stateParked
+	p.why = why
+	if !preCounted {
+		e.stats.Parks++
+		if e.obs != nil {
+			e.obs.RankParked(p.id, why, e.now)
+		}
+	}
+	if next := e.advance(false); next != nil {
+		panic("sim: internal: advance(false) returned a fresh proc")
+	}
+	<-p.wake
+	if e.draining {
+		panic(drainSignal{})
+	}
 	p.state = stateRunning
 	p.why = ""
 	if e.obs != nil {
@@ -372,6 +511,12 @@ func (p *Proc) Park(why string) {
 // already runnable is ignored, which lets multiple events wake the same
 // waiter.
 func (e *Engine) Unpark(p *Proc) {
+	if e.draining {
+		// Unwinding rank bodies may signal peers from their deferred
+		// cleanup; the run is over, so wakes are dropped (every blocked
+		// rank is resumed exactly once by the drain itself).
+		return
+	}
 	switch p.state {
 	case stateParked:
 		p.state = stateRunnable
@@ -434,17 +579,41 @@ func (r *rankPanic) Error() string {
 	return fmt.Sprintf("sim: rank %d panicked: %v", r.rank, r.val)
 }
 
+// deadlockError builds the Deadlock report from the current park set.
+func (e *Engine) deadlockError() *Deadlock {
+	d := &Deadlock{Time: e.now, Waiting: map[int]string{}}
+	for _, p := range e.procs {
+		if p.state == stateParked {
+			d.Waiting[p.id] = p.why
+		}
+	}
+	return d
+}
+
 // Run creates n ranks and executes body(p) on each, returning once all
 // ranks have finished. It returns an error if the simulation deadlocks
-// or any rank body panics. Run may be called repeatedly on fresh
-// engines but not concurrently on the same engine.
+// or any rank body panics; in every case — success or failure — all
+// rank goroutines have exited by the time Run returns (abnormal ends
+// drain the blocked ranks deterministically, in rank order). Run may
+// be called repeatedly on fresh engines but not concurrently on the
+// same engine.
 func (e *Engine) Run(n int, body func(p *Proc)) error {
 	if n <= 0 {
 		return fmt.Errorf("sim: Run needs n > 0, got %d", n)
 	}
+	e.body = body
 	e.procs = make([]*Proc, n)
 	e.runq = make([]*Proc, n)
 	e.alive = n
+	if e.Mode == ModeContinuation {
+		return e.runContinuation(n)
+	}
+	return e.runGoroutine(n)
+}
+
+// runGoroutine is the reference scheduler: one goroutine per rank,
+// resumed by a central loop.
+func (e *Engine) runGoroutine(n int) error {
 	for i := 0; i < n; i++ {
 		p := &Proc{id: i, e: e, state: stateRunnable, wake: make(chan struct{})}
 		e.procs[i] = p
@@ -455,7 +624,7 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
-					if e.failure == nil {
+					if _, drained := r.(drainSignal); !drained && e.failure == nil {
 						e.failure = &rankPanic{rank: p.id, val: r}
 					}
 				}
@@ -464,16 +633,17 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 				e.schedWake <- struct{}{}
 			}()
 			<-p.wake // wait for first dispatch
+			if e.draining {
+				return
+			}
 			p.state = stateRunning
-			body(p)
+			e.body(p)
 		}()
 	}
 	// Scheduler loop: run ranks until none is runnable, then pop events.
 	for {
 		if e.failure != nil {
-			// Abandon: remaining goroutines stay parked; the engine is
-			// single-use so this leaks only until test process exit.
-			return e.failure
+			return e.drainGoroutines(e.failure)
 		}
 		if e.rqLen > 0 {
 			p := e.popRunnable()
@@ -486,20 +656,14 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 			return nil
 		}
 		if len(e.events) == 0 {
-			d := &Deadlock{Time: e.now, Waiting: map[int]string{}}
-			for _, p := range e.procs {
-				if p.state == stateParked {
-					d.Waiting[p.id] = p.why
-				}
-			}
-			return d
+			return e.drainGoroutines(e.deadlockError())
 		}
 		ev := e.events.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
 		if e.MaxTime > 0 && e.now > e.MaxTime {
-			return &ErrTimeLimit{At: e.now}
+			return e.drainGoroutines(&ErrTimeLimit{At: e.now})
 		}
 		e.stats.Events++
 		if ev.wake != nil {
@@ -508,6 +672,196 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 			ev.fn()
 		}
 	}
+}
+
+// drainGoroutines ends an abnormal goroutine-mode run without leaking:
+// every rank goroutine that has not finished is blocked on its wake
+// channel (at first dispatch or inside Park), so each is resumed once,
+// in rank order, unwinds via drainSignal, and signals the scheduler
+// back before the next is woken. Engine statistics and observers see
+// nothing: the drain happens after the run's last observable instant.
+func (e *Engine) drainGoroutines(err error) error {
+	e.draining = true
+	e.drainErr = err
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.wake <- struct{}{}
+		<-e.schedWake
+	}
+	return err
+}
+
+// runContinuation is the continuation-mode driver: Proc records are
+// slab-allocated, fibers are spawned lazily at first dispatch, and the
+// root goroutine only seeds the dispatch loop and waits for the
+// simulation's terminal handoff.
+func (e *Engine) runContinuation(n int) error {
+	e.rootDone = make(chan error, 1)
+	slab := make([]Proc, n)
+	for i := range slab {
+		p := &slab[i]
+		p.id = i
+		p.e = e
+		p.state = stateRunnable
+		e.procs[i] = p
+		e.pushRunnable(p)
+	}
+	// Hand control to the first dispatch; the run ends when some fiber
+	// executes the terminal transfer on rootDone.
+	if next := e.advance(false); next != nil {
+		panic("sim: internal: advance(false) returned a fresh proc")
+	}
+	return <-e.rootDone
+}
+
+// advance is the continuation-mode dispatch loop, executed by whatever
+// flow of control is giving up the simulation (a parking rank, a
+// finished body's fiber, or the root at startup). It mirrors the
+// goroutine scheduler loop statement for statement — same runnable
+// FIFO, same event heap pops, same counter updates — and returns after
+// handing control to exactly one successor. When the next runnable
+// rank is fresh (no fiber yet) and the caller can run it on its own
+// goroutine (mayInline), the proc is returned instead; otherwise a new
+// fiber is spawned for it. A nil return means control went elsewhere.
+func (e *Engine) advance(mayInline bool) *Proc {
+	for {
+		if e.draining {
+			e.drainNext()
+			return nil
+		}
+		if e.failure != nil {
+			e.terminate(e.failure)
+			return nil
+		}
+		if e.rqLen > 0 {
+			p := e.popRunnable()
+			if p.started {
+				p.wake <- struct{}{} // resume the parked fiber; never blocks (cap 1)
+				return nil
+			}
+			if mayInline {
+				return p
+			}
+			e.spawnFiber(p)
+			return nil
+		}
+		if e.alive == 0 {
+			e.stats.FinalTime = e.now
+			e.rootDone <- nil
+			return nil
+		}
+		if len(e.events) == 0 {
+			e.terminate(e.deadlockError())
+			return nil
+		}
+		ev := e.events.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			e.terminate(&ErrTimeLimit{At: e.now})
+			return nil
+		}
+		e.stats.Events++
+		if ev.wake != nil {
+			e.Unpark(ev.wake)
+		} else {
+			ev.fn()
+		}
+	}
+}
+
+// getChan takes a wake slot from the pool (or makes one). Wake slots
+// have capacity one so a handoff never blocks the sender; a slot is
+// returned to the pool when its fiber's body finishes, so steady-state
+// dispatch allocates nothing.
+func (e *Engine) getChan() chan struct{} {
+	if n := len(e.chanPool); n > 0 {
+		ch := e.chanPool[n-1]
+		e.chanPool[n-1] = nil
+		e.chanPool = e.chanPool[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
+}
+
+func (e *Engine) putChan(ch chan struct{}) {
+	e.chanPool = append(e.chanPool, ch)
+}
+
+// spawnFiber starts the lazily created goroutine that will run p's
+// body (and, after it finishes, any further fresh bodies the dispatch
+// loop hands it).
+func (e *Engine) spawnFiber(p *Proc) {
+	p.started = true
+	p.wake = e.getChan()
+	go e.fiberLoop(p)
+}
+
+// fiberLoop runs rank bodies to completion on one goroutine: after a
+// body finishes, the fiber itself drives the dispatch loop, and if the
+// next dispatch is a fresh rank it runs that body in place instead of
+// spawning — so phases where ranks finish back-to-back execute on a
+// single goroutine.
+func (e *Engine) fiberLoop(p *Proc) {
+	for {
+		e.runBody(p)
+		ch := p.wake
+		p.wake = nil
+		e.putChan(ch) // before advance: the slot may serve the next spawn
+		next := e.advance(true)
+		if next == nil {
+			return
+		}
+		next.started = true
+		next.wake = e.getChan()
+		p = next
+	}
+}
+
+// runBody executes one rank body with the same recovery semantics as
+// the goroutine-mode runner.
+func (e *Engine) runBody(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, drained := r.(drainSignal); !drained && e.failure == nil {
+				e.failure = &rankPanic{rank: p.id, val: r}
+			}
+		}
+		p.state = stateDone
+		e.alive--
+	}()
+	p.state = stateRunning
+	e.body(p)
+}
+
+// terminate begins the abnormal end of a continuation-mode run: record
+// the error, then resume each blocked fiber once (in rank order) so it
+// unwinds and exits; the last drain step performs the terminal
+// handoff to the root.
+func (e *Engine) terminate(err error) {
+	e.draining = true
+	e.drainErr = err
+	e.drainNext()
+}
+
+// drainNext resumes the next blocked fiber (parked, or runnable but
+// not yet handed the token — both block on their wake slot) so it can
+// unwind, or signals the root when none remain. Never-started ranks
+// have no goroutine and need no draining. The cursor is monotonic:
+// states cannot regress during a drain (Unpark is a no-op).
+func (e *Engine) drainNext() {
+	for e.drainCursor < len(e.procs) {
+		p := e.procs[e.drainCursor]
+		e.drainCursor++
+		if p.started && p.state != stateDone {
+			p.wake <- struct{}{}
+			return
+		}
+	}
+	e.rootDone <- e.drainErr
 }
 
 // Procs returns the engine's ranks; valid during and after Run.
