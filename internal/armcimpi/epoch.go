@@ -18,12 +18,12 @@ type epochCtl struct {
 	g     *GMR
 	gr    int
 	win   *mpi.Win
-	class opClass
+	class OpClass
 	mpi3  bool
 }
 
 // beginEpoch opens the access discipline for one target.
-func (r *Runtime) beginEpoch(g *GMR, gr int, class opClass) (*epochCtl, error) {
+func (r *Runtime) beginEpoch(g *GMR, gr int, class OpClass) (*epochCtl, error) {
 	win := g.wins[r.Rank()]
 	e := &epochCtl{r: r, g: g, gr: gr, win: win, class: class, mpi3: r.Opt.UseMPI3}
 	if e.mpi3 {
@@ -83,7 +83,7 @@ func (e *epochCtl) acc(buf mpi.LocalBuf, disp int, t mpi.Datatype) error {
 // per-target flush (MPI-3; gets already completed at Wait).
 func (e *epochCtl) end() error {
 	if e.mpi3 {
-		if e.class == classGet {
+		if e.class == ClassGet {
 			return nil
 		}
 		return e.win.Flush(e.gr)

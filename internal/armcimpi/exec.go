@@ -7,6 +7,8 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
+	"repro/internal/sim"
 )
 
 // The plan executor: the one place that carries out compiled transfer
@@ -35,11 +37,11 @@ func (st *execState) addView(v localView, writeBack bool) {
 func (st *execState) addTemp(t *fabric.Region) { st.temps = append(st.temps, t) }
 
 // issue dispatches one operation into the open epoch.
-func (st *execState) issue(class opClass, buf mpi.LocalBuf, disp int, rtype mpi.Datatype) error {
+func (st *execState) issue(class OpClass, buf mpi.LocalBuf, disp int, rtype mpi.Datatype) error {
 	switch class {
-	case classPut:
+	case ClassPut:
 		return st.e.put(buf, disp, rtype)
-	case classGet:
+	case ClassGet:
 		return st.e.get(buf, disp, rtype)
 	default:
 		return st.e.acc(buf, disp, rtype)
@@ -87,17 +89,137 @@ func (st *execState) abort() {
 
 // execute carries out a compiled plan with blocking semantics: the
 // operation is locally (and, epoch discipline permitting, remotely)
-// complete on return.
+// complete on return. Leader-staged plans model the hierarchical hop
+// first — the staging copy happens before the wire transfer is issued.
 func (r *Runtime) execute(p *plan) error {
+	if p.dec.Route == RouteStagedRMA {
+		r.execStage(p.stageBytes)
+	}
 	r.obs().Inc(r.Rank(), obs.CPlanExec)
 	switch p.kind {
 	case planBatched:
 		return r.execBatched(p)
 	case planPerSeg:
 		return r.execPerSeg(p)
+	case planNear:
+		return r.execNear(p)
 	default:
 		return r.execSingle(p)
 	}
+}
+
+// execStage models the hierarchical path for one leader-staged remote
+// transfer: a non-leader origin copies the payload into its node
+// leader's staging buffer (one shared-memory copy) and queues behind
+// the per-node staging pipe before the wire transfer. Eligibility
+// (threshold, leader and same-node bypass, ablation switches) was
+// decided by the policy; the executor only models the cost and
+// reports the event back through the policy's Staged hook.
+func (r *Runtime) execStage(n int) {
+	m := r.W.Mpi.M
+	me := r.Rank()
+	node := m.NodeOf(me)
+	if r.W.leaderBusy == nil {
+		cpn := m.Par.CoresPerNode
+		r.W.leaderBusy = make([]sim.Time, (m.NRanks+cpn-1)/cpn)
+	}
+	p := r.R.P
+	pr := r.obs().Prof()
+	t0 := p.Now()
+	if b := r.W.leaderBusy[node]; b > t0 {
+		m.SleepUntil(p, b)
+		pr.PhaseAt(me, profile.PhaseLeaderQueue, t0, p.Now())
+	}
+	c0 := p.Now()
+	m.ShmCopy(p, n)
+	pr.PhaseAt(me, profile.PhaseLeaderCopy, c0, p.Now())
+	r.W.leaderBusy[node] = p.Now()
+	r.policy.Staged(n)
+	o := r.obs()
+	o.Inc(me, obs.CDartStaged)
+	o.Add(me, obs.CDartStagedBytes, int64(n))
+}
+
+// execNear carries out a directly bound near-tier plan: RouteSelf
+// put/get is one local memcpy; RouteSelf accumulate and every
+// RouteNode operation run one exclusive-lock epoch on the decision's
+// node-shared window (self accumulates keep the epoch so same-node
+// updates stay atomic with respect to each other).
+func (r *Runtime) execNear(p *plan) error {
+	if p.dec.Route == RouteSelf && p.class != ClassAcc {
+		return r.execSelfCopy(p)
+	}
+	return r.execNodeEpoch(p)
+}
+
+// nearRegion resolves an address on the calling rank to its region
+// (near plans bypass acquireLocal: the policy proved containment on
+// the remote side, and near tiers never stage the local side).
+func (r *Runtime) nearRegion(addr armci.Addr, n int) (*fabric.Region, error) {
+	reg := r.W.Mpi.M.Space(r.Rank()).Find(addr.VA, n)
+	if reg == nil {
+		return nil, fmt.Errorf("armcimpi: local address %v (+%d) not in any allocation", addr, n)
+	}
+	return reg, nil
+}
+
+// execSelfCopy is the load-store tier: both sides live on the calling
+// rank, so the transfer is one local memcpy.
+func (r *Runtime) execSelfCopy(p *plan) error {
+	src, dst := p.local, p.raddr
+	if p.class == ClassGet {
+		src, dst = p.raddr, p.local
+	}
+	sreg, err := r.nearRegion(src, p.span)
+	if err != nil {
+		return err
+	}
+	dreg, err := r.nearRegion(dst, p.span)
+	if err != nil {
+		return err
+	}
+	r.W.Mpi.M.CopyLocal(r.R.P, p.span)
+	copy(dreg.Bytes(dst.VA, p.span), sreg.Bytes(src.VA, p.span))
+	return nil
+}
+
+// execNodeEpoch is the same-node tier: one exclusive-lock epoch on the
+// decision's node-shared window, whose ops degenerate to shm segment
+// copies. Scaled accumulates share the engine's prescale-temporary
+// path; the temporary is freed after the epoch closes.
+func (r *Runtime) execNodeEpoch(p *plan) error {
+	reg, err := r.nearRegion(p.local, p.span)
+	if err != nil {
+		return err
+	}
+	t := mpi.TypeContiguous(p.span)
+	buf := mpi.LocalBuf{Region: reg, Off: int(p.local.VA - reg.VA), Type: t}
+	var tmp *fabric.Region
+	if p.class == ClassAcc && p.scale != 1 {
+		v := localView{reg: reg, base: reg.VA}
+		if tmp, err = r.prescale(&v, p.local.VA, t, p.scale); err != nil {
+			return err
+		}
+		buf = mpi.LocalBuf{Region: tmp, Off: 0, Type: t}
+		defer func() { _ = r.W.Mpi.M.Space(r.Rank()).Free(tmp.VA) }()
+	}
+	win, gt, disp := p.dec.Node.Win, p.dec.Node.Rank, p.dec.Node.Disp
+	if err := win.Lock(mpi.LockExclusive, gt); err != nil {
+		return err
+	}
+	var opErr error
+	switch p.class {
+	case ClassPut:
+		opErr = win.Put(buf, gt, disp, t)
+	case ClassGet:
+		opErr = win.Get(buf, gt, disp, t)
+	default:
+		opErr = win.Accumulate(buf, mpi.OpSum, gt, disp, t)
+	}
+	if err := win.Unlock(gt); err != nil && opErr == nil {
+		opErr = err
+	}
+	return opErr
 }
 
 // execSingle issues one datatype-described operation in one epoch.
@@ -112,9 +234,9 @@ func (r *Runtime) execSingle(p *plan) (err error) {
 	if err != nil {
 		return err
 	}
-	st.addView(v, p.class == classGet)
+	st.addView(v, p.class == ClassGet)
 	buf := v.buf(p.local.VA, p.ltype)
-	if p.class == classAcc && p.scale != 1 {
+	if p.class == ClassAcc && p.scale != 1 {
 		var scaled *fabric.Region
 		if scaled, err = r.prescale(&v, p.local.VA, p.ltype, p.scale); err != nil {
 			return err
@@ -169,9 +291,9 @@ func (r *Runtime) execBatched(p *plan) (err error) {
 			if v, err = r.acquireLocal(sg.local, sg.n); err != nil {
 				return err
 			}
-			st.addView(v, p.class == classGet)
+			st.addView(v, p.class == ClassGet)
 			buf := v.buf(sg.local.VA, mpi.TypeContiguous(sg.n))
-			if p.class == classAcc && p.scale != 1 {
+			if p.class == ClassAcc && p.scale != 1 {
 				var scaled *fabric.Region
 				if scaled, err = r.prescale(&v, sg.local.VA, mpi.TypeContiguous(sg.n), p.scale); err != nil {
 					return err
@@ -194,16 +316,27 @@ func (r *Runtime) execBatched(p *plan) (err error) {
 
 // execPerSeg re-enters the engine once per segment through the public
 // contiguous operations, giving each segment its own epoch (and its
-// own per-segment span check).
+// own per-segment span check). Near-tier descriptors (dec.PerSeg) are
+// re-routed — and counted — segment by segment, so segments falling
+// outside the policy's near window still reach the wire; conservative
+// wire descriptors instead pin their already counted RMA decision so
+// re-entry neither re-counts nor re-stages.
 func (r *Runtime) execPerSeg(p *plan) error {
+	pin := !p.dec.PerSeg
+	if pin {
+		defer func() { r.pinnedRoute = nil }()
+	}
 	for _, sg := range p.csegs {
+		if pin {
+			r.pinnedRoute = &RouteDecision{Route: RouteRMA, Method: p.dec.Method}
+		}
 		var err error
 		switch p.class {
-		case classPut:
+		case ClassPut:
 			err = r.Put(sg.local, sg.remote, sg.n)
-		case classGet:
+		case ClassGet:
 			err = r.Get(sg.remote, sg.local, sg.n)
-		case classAcc:
+		case ClassAcc:
 			err = r.Acc(armci.AccDbl, p.scale, sg.local, sg.remote, sg.n)
 		}
 		if err != nil {
@@ -268,8 +401,20 @@ func (h *nbHandle) settle() {
 // execNb3 issues a compiled plan as MPI-3 request-based operations and
 // returns a handle tracking completion of the whole set. Under MPI-3
 // local buffers are never staged and lock-all replaces per-op epochs,
-// so every plan kind flattens to a stream of R-operations.
+// so every wire plan kind flattens to a stream of R-operations.
+// Near-tier plans have no request form — they complete eagerly via the
+// blocking executor and return an already-completed handle — and
+// leader-staged plans model the staging hop before any request issues.
 func (r *Runtime) execNb3(p *plan) (armci.Handle, error) {
+	if p.kind == planNear || p.dec.PerSeg {
+		if err := r.execute(p); err != nil {
+			return nil, err
+		}
+		return completedHandle{}, nil
+	}
+	if p.dec.Route == RouteStagedRMA {
+		r.execStage(p.stageBytes)
+	}
 	h := &nbHandle{r: r}
 	if err := r.issueNb3(p, h); err != nil {
 		// Requests already in flight cannot be recalled: complete them
@@ -294,8 +439,12 @@ func (r *Runtime) issueNb3(p *plan, h *nbHandle) error {
 		}
 		return nil
 	case planPerSeg:
+		// Only conservative wire descriptors reach here (near per-seg
+		// plans took the eager path in execNb3): each segment inherits
+		// the descriptor's already counted RMA decision.
 		for _, sg := range p.csegs {
-			sub, err := r.compileContig(p.class, p.scale, sg.local, sg.remote, sg.n)
+			rt := routed{dec: RouteDecision{Route: RouteRMA, Method: p.dec.Method}, bytes: sg.n}
+			sub, err := r.compileContig(p.class, p.scale, sg.local, sg.remote, sg.n, rt)
 			if err != nil {
 				return err
 			}
@@ -316,9 +465,9 @@ func (r *Runtime) issueOneNb3(h *nbHandle, p *plan, local armci.Addr, span int, 
 		return err
 	}
 	h.views = append(h.views, v)
-	h.wb = append(h.wb, p.class == classGet)
+	h.wb = append(h.wb, p.class == ClassGet)
 	buf := v.buf(local.VA, ltype)
-	if p.class == classAcc && p.scale != 1 {
+	if p.class == ClassAcc && p.scale != 1 {
 		scaled, err := r.prescale(&v, local.VA, ltype, p.scale)
 		if err != nil {
 			return err
@@ -332,9 +481,9 @@ func (r *Runtime) issueOneNb3(h *nbHandle, p *plan, local armci.Addr, span int, 
 	}
 	var req *mpi.RMAReq
 	switch p.class {
-	case classPut:
+	case ClassPut:
 		req, err = win.RPut(buf, p.gr, disp, rtype)
-	case classGet:
+	case ClassGet:
 		req, err = win.RGet(buf, p.gr, disp, rtype)
 	default:
 		req, err = win.RAccumulate(buf, mpi.OpSum, p.gr, disp, rtype)
@@ -342,7 +491,7 @@ func (r *Runtime) issueOneNb3(h *nbHandle, p *plan, local armci.Addr, span int, 
 	if err != nil {
 		return err
 	}
-	if p.class != classGet {
+	if p.class != ClassGet {
 		// Puts and accumulates complete remotely at Fence/AllFence.
 		r.addPending(win, p.gr)
 	}

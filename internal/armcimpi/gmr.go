@@ -132,6 +132,12 @@ type World struct {
 	ids   map[int]*GMR
 	spans map[int][]gmrSpan
 
+	// leaderBusy is the staging-pipe horizon of each node's leader
+	// rank: RouteStagedRMA plans queue behind it. Lazily sized by
+	// execStage on first use, so jobs whose policy never stages pay
+	// nothing.
+	leaderBusy []sim.Time
+
 	// Counters.
 	Staged    int64 // global-buffer staging events (SectionV.E.1)
 	AutoScans int64 // conflict-tree scans performed by MethodAuto
@@ -237,6 +243,15 @@ type Runtime struct {
 	coll armci.MPIColl
 	dla  map[int64]dlaSection // open direct-local-access sections by base VA
 
+	// policy is the routing layer's decision maker (route.go); New
+	// installs the engine default, SetRoutePolicy replaces it.
+	// pinnedRoute, when non-nil, is consumed by the next decide call:
+	// per-segment re-entries of an already routed conservative plan
+	// keep the descriptor's decision instead of re-deciding (and
+	// re-staging or re-counting).
+	policy      RoutePolicy
+	pinnedRoute *RouteDecision
+
 	// Outstanding MPI-3 request ops, tracked per window and per target
 	// (window rank) so Fence(proc) can flush just that target.
 	// pendingOrder keeps deterministic iteration order; each entry
@@ -274,12 +289,14 @@ type dlaSection struct {
 
 // New creates the per-rank ARMCI-MPI runtime handle.
 func New(w *World, r *mpi.Rank, opt Options) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		W: w, R: r, Opt: opt,
 		coll:    armci.MPIColl{R: r},
 		dla:     map[int64]dlaSection{},
 		pending: map[*mpi.Win]*pendingOps{},
 	}
+	rt.policy = enginePolicy{rt}
+	return rt
 }
 
 // pendingOps tracks one window's unfenced targets and its slot in

@@ -61,7 +61,8 @@ func (r *Runtime) NbPut(src, dst armci.Addr, n int) (armci.Handle, error) {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return nil, err
 	}
-	p, err := r.compileContig(classPut, 1, src, dst, n)
+	rt := r.decide(RouteRequest{Class: ClassPut, Shape: ShapeContig, Local: src, Remote: dst, Target: dst.Rank, Bytes: n})
+	p, err := r.compileContig(ClassPut, 1, src, dst, n, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +82,8 @@ func (r *Runtime) NbGet(src, dst armci.Addr, n int) (armci.Handle, error) {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return nil, err
 	}
-	p, err := r.compileContig(classGet, 1, dst, src, n)
+	rt := r.decide(RouteRequest{Class: ClassGet, Shape: ShapeContig, Local: dst, Remote: src, Target: src.Rank, Bytes: n})
+	p, err := r.compileContig(ClassGet, 1, dst, src, n, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +107,8 @@ func (r *Runtime) NbAcc(op armci.AccOp, scale float64, src, dst armci.Addr, n in
 	if n%8 != 0 {
 		return nil, fmt.Errorf("armcimpi: NbAcc size %d not a multiple of 8 (float64)", n)
 	}
-	p, err := r.compileContig(classAcc, scale, src, dst, n)
+	rt := r.decide(RouteRequest{Class: ClassAcc, Shape: ShapeContig, Local: src, Remote: dst, Target: dst.Rank, Bytes: n})
+	p, err := r.compileContig(ClassAcc, scale, src, dst, n, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +117,12 @@ func (r *Runtime) NbAcc(op armci.AccOp, scale float64, src, dst armci.Addr, n in
 
 // NbPutS issues a strided put through the configured strided method.
 func (r *Runtime) NbPutS(s *armci.Strided) (armci.Handle, error) {
-	return r.nbStrided(classPut, 1, s)
+	return r.nbStrided(ClassPut, 1, s)
 }
 
 // NbGetS issues a strided get through the configured strided method.
 func (r *Runtime) NbGetS(s *armci.Strided) (armci.Handle, error) {
-	return r.nbStrided(classGet, 1, s)
+	return r.nbStrided(ClassGet, 1, s)
 }
 
 // NbAccS issues a strided accumulate through the configured method.
@@ -127,10 +130,10 @@ func (r *Runtime) NbAccS(op armci.AccOp, scale float64, s *armci.Strided) (armci
 	if s.SegBytes()%8 != 0 {
 		return nil, fmt.Errorf("armcimpi: NbAccS segment size %d not float64-aligned", s.SegBytes())
 	}
-	return r.nbStrided(classAcc, scale, s)
+	return r.nbStrided(ClassAcc, scale, s)
 }
 
-func (r *Runtime) nbStrided(class opClass, scale float64, s *armci.Strided) (armci.Handle, error) {
+func (r *Runtime) nbStrided(class OpClass, scale float64, s *armci.Strided) (armci.Handle, error) {
 	if pr := r.obs().Prof(); pr != nil {
 		pr.Begin(r.Rank(), profNbStridedOp[class])
 		defer pr.End(r.Rank())
@@ -138,9 +141,9 @@ func (r *Runtime) nbStrided(class opClass, scale float64, s *armci.Strided) (arm
 	if !r.Opt.UseMPI3 {
 		var err error
 		switch class {
-		case classPut:
+		case ClassPut:
 			err = r.PutS(s)
-		case classGet:
+		case ClassGet:
 			err = r.GetS(s)
 		default:
 			err = r.AccS(armci.AccDbl, scale, s)
@@ -150,7 +153,13 @@ func (r *Runtime) nbStrided(class opClass, scale float64, s *armci.Strided) (arm
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := r.compileStrided(class, scale, s, r.stridedMethod())
+	local, remote := s.Src, s.Dst
+	if class == ClassGet {
+		local, remote = s.Dst, s.Src
+	}
+	rt := r.decide(RouteRequest{Class: class, Shape: ShapeStrided,
+		Local: local, Remote: remote, Target: remote.Rank, Bytes: s.TotalBytes()})
+	p, err := r.compileStrided(class, scale, s, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +168,12 @@ func (r *Runtime) nbStrided(class opClass, scale float64, s *armci.Strided) (arm
 
 // NbPutV issues a generalized I/O vector put to proc.
 func (r *Runtime) NbPutV(iov []armci.GIOV, proc int) (armci.Handle, error) {
-	return r.nbIOV(classPut, 1, iov, proc)
+	return r.nbIOV(ClassPut, 1, iov, proc)
 }
 
 // NbGetV issues a generalized I/O vector get from proc.
 func (r *Runtime) NbGetV(iov []armci.GIOV, proc int) (armci.Handle, error) {
-	return r.nbIOV(classGet, 1, iov, proc)
+	return r.nbIOV(ClassGet, 1, iov, proc)
 }
 
 // NbAccV issues a generalized I/O vector accumulate to proc.
@@ -172,10 +181,10 @@ func (r *Runtime) NbAccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc i
 	if err := checkAccIOV(iov); err != nil {
 		return nil, err
 	}
-	return r.nbIOV(classAcc, scale, iov, proc)
+	return r.nbIOV(ClassAcc, scale, iov, proc)
 }
 
-func (r *Runtime) nbIOV(class opClass, scale float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
+func (r *Runtime) nbIOV(class OpClass, scale float64, iov []armci.GIOV, proc int) (armci.Handle, error) {
 	if pr := r.obs().Prof(); pr != nil {
 		pr.Begin(r.Rank(), profNbIOVOp[class])
 		defer pr.End(r.Rank())
@@ -183,16 +192,17 @@ func (r *Runtime) nbIOV(class opClass, scale float64, iov []armci.GIOV, proc int
 	if !r.Opt.UseMPI3 {
 		var err error
 		switch class {
-		case classPut:
+		case ClassPut:
 			err = r.PutV(iov, proc)
-		case classGet:
+		case ClassGet:
 			err = r.GetV(iov, proc)
 		default:
 			err = r.AccV(armci.AccDbl, scale, iov, proc)
 		}
 		return nbImmediate(err)
 	}
-	p, err := r.compileIOV(class, scale, iov, proc, r.Opt.IOVMethod)
+	rt := r.decide(RouteRequest{Class: class, Shape: ShapeIOV, Target: proc, Bytes: iovBytes(iov)})
+	p, err := r.compileIOV(class, scale, iov, proc, rt)
 	if err != nil {
 		return nil, err
 	}

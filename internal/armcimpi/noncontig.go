@@ -10,12 +10,12 @@ import (
 	"repro/internal/obs/profile"
 )
 
-// Profiler op classification per surface shape, indexed by opClass.
+// Profiler op classification per surface shape, indexed by OpClass.
 var (
-	profStridedOp   = [3]profile.Op{classGet: profile.OpGetS, classPut: profile.OpPutS, classAcc: profile.OpAccS}
-	profIOVOp       = [3]profile.Op{classGet: profile.OpGetV, classPut: profile.OpPutV, classAcc: profile.OpAccV}
-	profNbStridedOp = [3]profile.Op{classGet: profile.OpNbGetS, classPut: profile.OpNbPutS, classAcc: profile.OpNbAccS}
-	profNbIOVOp     = [3]profile.Op{classGet: profile.OpNbGetV, classPut: profile.OpNbPutV, classAcc: profile.OpNbAccV}
+	profStridedOp   = [3]profile.Op{ClassGet: profile.OpGetS, ClassPut: profile.OpPutS, ClassAcc: profile.OpAccS}
+	profIOVOp       = [3]profile.Op{ClassGet: profile.OpGetV, ClassPut: profile.OpPutV, ClassAcc: profile.OpAccV}
+	profNbStridedOp = [3]profile.Op{ClassGet: profile.OpNbGetS, ClassPut: profile.OpNbPutS, ClassAcc: profile.OpNbAccS}
+	profNbIOVOp     = [3]profile.Op{ClassGet: profile.OpNbGetV, ClassPut: profile.OpNbPutV, ClassAcc: profile.OpNbAccV}
 )
 
 // stridedMethod resolves the configured strided strategy.
@@ -31,20 +31,20 @@ func (r *Runtime) stridedMethod() Method {
 }
 
 // PutS performs a strided put using the configured method.
-func (r *Runtime) PutS(s *armci.Strided) error { return r.strided(classPut, 1, s) }
+func (r *Runtime) PutS(s *armci.Strided) error { return r.strided(ClassPut, 1, s) }
 
 // GetS performs a strided get using the configured method.
-func (r *Runtime) GetS(s *armci.Strided) error { return r.strided(classGet, 1, s) }
+func (r *Runtime) GetS(s *armci.Strided) error { return r.strided(ClassGet, 1, s) }
 
 // AccS performs a strided accumulate (dst += scale*src).
 func (r *Runtime) AccS(op armci.AccOp, scale float64, s *armci.Strided) error {
 	if s.SegBytes()%8 != 0 {
 		return fmt.Errorf("armcimpi: AccS segment size %d not float64-aligned", s.SegBytes())
 	}
-	return r.strided(classAcc, scale, s)
+	return r.strided(ClassAcc, scale, s)
 }
 
-func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error {
+func (r *Runtime) strided(class OpClass, scale float64, s *armci.Strided) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
@@ -53,8 +53,13 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 		pr.Begin(r.Rank(), profStridedOp[class])
 		defer pr.End(r.Rank())
 	}
-	method := r.stridedMethod()
-	p, err := r.compileStrided(class, scale, s, method)
+	local, remote := s.Src, s.Dst
+	if class == ClassGet {
+		local, remote = s.Dst, s.Src
+	}
+	rt := r.decide(RouteRequest{Class: class, Shape: ShapeStrided,
+		Local: local, Remote: remote, Target: remote.Rank, Bytes: s.TotalBytes()})
+	p, err := r.compileStrided(class, scale, s, rt)
 	if err != nil {
 		return err
 	}
@@ -63,14 +68,14 @@ func (r *Runtime) strided(class opClass, scale float64, s *armci.Strided) error 
 	}
 	name := "puts"
 	switch class {
-	case classGet:
+	case ClassGet:
 		name = "gets"
-	case classAcc:
+	case ClassAcc:
 		name = "accs"
 	}
 	if o := r.obs(); o.Tracing() {
 		o.Span(r.Rank(), "armci", name, t0, r.R.P.Now(),
-			obs.A("method", method.String()), obs.A("seg", s.SegBytes()))
+			obs.A("method", rt.dec.Method.String()), obs.A("seg", s.SegBytes()))
 	}
 	return nil
 }
@@ -173,12 +178,12 @@ func (r *Runtime) prescale(v *localView, baseVA int64, t mpi.Datatype, scale flo
 
 // PutV performs a generalized I/O vector put to proc.
 func (r *Runtime) PutV(iov []armci.GIOV, proc int) error {
-	return r.iov(classPut, 1, iov, proc, r.Opt.IOVMethod)
+	return r.iov(ClassPut, 1, iov, proc)
 }
 
 // GetV performs a generalized I/O vector get from proc.
 func (r *Runtime) GetV(iov []armci.GIOV, proc int) error {
-	return r.iov(classGet, 1, iov, proc, r.Opt.IOVMethod)
+	return r.iov(ClassGet, 1, iov, proc)
 }
 
 // AccV performs a generalized I/O vector accumulate to proc.
@@ -186,7 +191,16 @@ func (r *Runtime) AccV(op armci.AccOp, scale float64, iov []armci.GIOV, proc int
 	if err := checkAccIOV(iov); err != nil {
 		return err
 	}
-	return r.iov(classAcc, scale, iov, proc, r.Opt.IOVMethod)
+	return r.iov(ClassAcc, scale, iov, proc)
+}
+
+// iovBytes is the total payload of a generalized I/O vector.
+func iovBytes(iov []armci.GIOV) int {
+	n := 0
+	for i := range iov {
+		n += len(iov[i].Src) * iov[i].Bytes
+	}
+	return n
 }
 
 func checkAccIOV(iov []armci.GIOV) error {
@@ -204,13 +218,13 @@ type iovSeg struct {
 	n             int
 }
 
-func orient(iov []armci.GIOV, class opClass) []iovSeg {
+func orient(iov []armci.GIOV, class OpClass) []iovSeg {
 	var segs []iovSeg
 	for gi := range iov {
 		g := &iov[gi]
 		for i := range g.Src {
 			s := iovSeg{local: g.Src[i], remote: g.Dst[i], n: g.Bytes}
-			if class == classGet {
+			if class == ClassGet {
 				s.local, s.remote = g.Dst[i], g.Src[i]
 			}
 			segs = append(segs, s)
@@ -219,14 +233,15 @@ func orient(iov []armci.GIOV, class opClass) []iovSeg {
 	return segs
 }
 
-// iov compiles and executes an IOV operation with the selected method
+// iov compiles and executes an IOV operation with the routed method
 // (SectionVI.A).
-func (r *Runtime) iov(class opClass, scale float64, iov []armci.GIOV, proc int, method Method) error {
+func (r *Runtime) iov(class OpClass, scale float64, iov []armci.GIOV, proc int) error {
 	if pr := r.obs().Prof(); pr != nil {
 		pr.Begin(r.Rank(), profIOVOp[class])
 		defer pr.End(r.Rank())
 	}
-	p, err := r.compileIOV(class, scale, iov, proc, method)
+	rt := r.decide(RouteRequest{Class: class, Shape: ShapeIOV, Target: proc, Bytes: iovBytes(iov)})
+	p, err := r.compileIOV(class, scale, iov, proc, rt)
 	if err != nil {
 		return err
 	}

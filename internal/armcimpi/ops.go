@@ -10,22 +10,22 @@ import (
 	"repro/internal/obs/profile"
 )
 
-type opClass int
+type OpClass int
 
 const (
-	classGet opClass = iota
-	classPut
-	classAcc
+	ClassGet OpClass = iota
+	ClassPut
+	ClassAcc
 )
 
 // lockType selects the epoch's lock mode for an operation against a
 // GMR: exclusive by default (SectionV.C), shared when the access-mode
 // hint guarantees the operation mix cannot conflict (SectionVIII.A).
-func lockType(g *GMR, class opClass) mpi.LockType {
+func lockType(g *GMR, class OpClass) mpi.LockType {
 	switch {
-	case g.mode == armci.ModeReadOnly && class == classGet:
+	case g.mode == armci.ModeReadOnly && class == ClassGet:
 		return mpi.LockShared
-	case g.mode == armci.ModeAccOnly && class == classAcc:
+	case g.mode == armci.ModeAccOnly && class == ClassAcc:
 		return mpi.LockShared
 	default:
 		return mpi.LockExclusive
@@ -174,7 +174,8 @@ func (r *Runtime) Put(src, dst armci.Addr, n int) error {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
-	p, err := r.compileContig(classPut, 1, src, dst, n)
+	rt := r.decide(RouteRequest{Class: ClassPut, Shape: ShapeContig, Local: src, Remote: dst, Target: dst.Rank, Bytes: n})
+	p, err := r.compileContig(ClassPut, 1, src, dst, n, rt)
 	if err != nil {
 		return err
 	}
@@ -198,7 +199,8 @@ func (r *Runtime) Get(src, dst armci.Addr, n int) error {
 	if err := armci.CheckContig(src, dst, n); err != nil {
 		return err
 	}
-	p, err := r.compileContig(classGet, 1, dst, src, n)
+	rt := r.decide(RouteRequest{Class: ClassGet, Shape: ShapeContig, Local: dst, Remote: src, Target: src.Rank, Bytes: n})
+	p, err := r.compileContig(ClassGet, 1, dst, src, n, rt)
 	if err != nil {
 		return err
 	}
@@ -226,7 +228,8 @@ func (r *Runtime) Acc(op armci.AccOp, scale float64, src, dst armci.Addr, n int)
 	if n%8 != 0 {
 		return fmt.Errorf("armcimpi: Acc size %d not a multiple of 8 (float64)", n)
 	}
-	p, err := r.compileContig(classAcc, scale, src, dst, n)
+	rt := r.decide(RouteRequest{Class: ClassAcc, Shape: ShapeContig, Local: src, Remote: dst, Target: dst.Rank, Bytes: n})
+	p, err := r.compileContig(ClassAcc, scale, src, dst, n, rt)
 	if err != nil {
 		return err
 	}

@@ -29,8 +29,13 @@ const (
 	planBatched
 	// planPerSeg re-enters the engine once per contiguous segment,
 	// each in its own epoch; segments may overlap and span GMRs
-	// (the conservative method).
+	// (the conservative method, and near-tier descriptors whose
+	// segments are routed individually).
 	planPerSeg
+	// planNear executes a contiguous transfer on a near tier the
+	// policy bound directly: a local memcpy (RouteSelf put/get) or one
+	// exclusive-lock epoch on the decision's node-shared window.
+	planNear
 )
 
 // planSeg is one contiguous piece of a batched plan, its displacement
@@ -51,9 +56,18 @@ type contigSeg struct {
 
 // plan is the compiled descriptor of one ARMCI operation.
 type plan struct {
-	class opClass
+	class OpClass
 	scale float64
 	kind  planKind
+
+	// The routing decision the policy made for this operation, and the
+	// payload size behind it (execStage's staging model runs on the
+	// whole descriptor, not per segment). planNear also keeps the
+	// remote global address in raddr, since near execution resolves
+	// regions directly instead of through a GMR.
+	dec        RouteDecision
+	stageBytes int
+	raddr      armci.Addr
 
 	// Target GMR (planSingle and planBatched; conservative segments
 	// resolve their own).
@@ -91,8 +105,15 @@ func (p *plan) nsegs() int {
 
 // compileContig builds the plan for a contiguous transfer. The caller
 // has already validated the request (CheckContig and, for accumulate,
-// float64 alignment).
-func (r *Runtime) compileContig(class opClass, scale float64, local, remote armci.Addr, n int) (*plan, error) {
+// float64 alignment) and routed it. Direct near decisions become
+// planNear; everything else resolves against the GMR as before.
+func (r *Runtime) compileContig(class OpClass, scale float64, local, remote armci.Addr, n int, rt routed) (*plan, error) {
+	if rt.dec.Direct {
+		return &plan{
+			class: class, scale: scale, kind: planNear,
+			local: local, span: n, raddr: remote, dec: rt.dec,
+		}, nil
+	}
 	g, gr, disp, err := r.remote(remote, n)
 	if err != nil {
 		return nil, err
@@ -101,25 +122,40 @@ func (r *Runtime) compileContig(class opClass, scale float64, local, remote armc
 	return &plan{
 		class: class, scale: scale, kind: planSingle,
 		g: g, gr: gr, local: local, span: n, ltype: t, rtype: t, disp: disp,
+		dec: rt.dec, stageBytes: rt.bytes,
 	}, nil
 }
 
 // compileStrided builds the plan for a strided transfer using the
-// configured method: the direct subarray translation (SectionVI.C), or
-// the IOV engine over the descriptor's segment expansion.
-func (r *Runtime) compileStrided(class opClass, scale float64, s *armci.Strided, method Method) (*plan, error) {
-	if method != MethodDirect {
+// routed method: the direct subarray translation (SectionVI.C), the
+// IOV engine over the descriptor's segment expansion, or — for a
+// near-tier descriptor — one contiguous segment per stride iteration,
+// each re-entering the engine to be routed individually.
+func (r *Runtime) compileStrided(class OpClass, scale float64, s *armci.Strided, rt routed) (*plan, error) {
+	if rt.dec.PerSeg {
+		seg := s.SegBytes()
+		csegs := make([]contigSeg, 0, s.TotalBytes()/max(seg, 1))
+		s.Iterate(func(so, do int) {
+			c := contigSeg{local: s.Src.Add(so), remote: s.Dst.Add(do), n: seg}
+			if class == ClassGet {
+				c.local, c.remote = s.Dst.Add(do), s.Src.Add(so)
+			}
+			csegs = append(csegs, c)
+		})
+		return &plan{class: class, scale: scale, kind: planPerSeg, csegs: csegs, dec: rt.dec}, nil
+	}
+	if rt.dec.Method != MethodDirect {
 		g := s.ToGIOV()
 		proc := s.Dst.Rank
-		if class == classGet {
+		if class == ClassGet {
 			proc = s.Src.Rank
 		}
-		return r.compileIOV(class, scale, []armci.GIOV{g}, proc, method)
+		return r.compileIOV(class, scale, []armci.GIOV{g}, proc, rt)
 	}
 	localAddr, remoteAddr := s.Src, s.Dst
 	localStride, remoteStride := s.SrcStride, s.DstStride
 	localSpan, remoteSpan := s.SrcSpan(), s.DstSpan()
-	if class == classGet {
+	if class == ClassGet {
 		localAddr, remoteAddr = s.Dst, s.Src
 		localStride, remoteStride = s.DstStride, s.SrcStride
 		localSpan, remoteSpan = s.DstSpan(), s.SrcSpan()
@@ -134,31 +170,44 @@ func (r *Runtime) compileStrided(class opClass, scale float64, s *armci.Strided,
 		ltype: r.stridedTypeCached(localStride, s.Count),
 		rtype: r.stridedTypeCached(remoteStride, s.Count),
 		disp:  disp,
+		dec:   rt.dec, stageBytes: rt.bytes,
 	}, nil
 }
 
 // compileIOV builds the plan for a generalized I/O vector transfer
-// with the selected method (SectionVI.A).
-func (r *Runtime) compileIOV(class opClass, scale float64, iov []armci.GIOV, proc int, method Method) (*plan, error) {
-	if err := armci.ValidateIOV(iov, proc, class == classGet); err != nil {
+// with the routed method (SectionVI.A). Near-tier descriptors compile
+// to the per-segment plan regardless of method: each segment re-enters
+// the engine and is routed on its own.
+func (r *Runtime) compileIOV(class OpClass, scale float64, iov []armci.GIOV, proc int, rt routed) (*plan, error) {
+	if err := armci.ValidateIOV(iov, proc, class == ClassGet); err != nil {
 		return nil, err
 	}
 	segs := orient(iov, class)
 	if len(segs) == 0 {
-		return &plan{class: class, scale: scale, kind: planPerSeg}, nil
+		return &plan{class: class, scale: scale, kind: planPerSeg, dec: rt.dec}, nil
 	}
-	switch method {
-	case MethodConservative:
-		return r.compileConservative(class, scale, segs), nil
-	case MethodBatched:
-		return r.compileBatched(class, scale, segs)
-	case MethodIOVDirect, MethodDirect:
-		return r.compileIOVDirect(class, scale, segs)
-	case MethodAuto:
-		return r.compileAuto(class, scale, segs)
-	default:
-		return nil, fmt.Errorf("armcimpi: unknown IOV method %v", method)
+	p, err := func() (*plan, error) {
+		if rt.dec.PerSeg {
+			return r.compileConservative(class, scale, segs), nil
+		}
+		switch rt.dec.Method {
+		case MethodConservative:
+			return r.compileConservative(class, scale, segs), nil
+		case MethodBatched:
+			return r.compileBatched(class, scale, segs)
+		case MethodIOVDirect, MethodDirect:
+			return r.compileIOVDirect(class, scale, segs)
+		case MethodAuto:
+			return r.compileAuto(class, scale, segs)
+		default:
+			return nil, fmt.Errorf("armcimpi: unknown IOV method %v", rt.dec.Method)
+		}
+	}()
+	if err != nil {
+		return nil, err
 	}
+	p.dec, p.stageBytes = rt.dec, rt.bytes
+	return p, nil
 }
 
 // compileAuto scans the descriptor with the conflict tree
@@ -169,7 +218,7 @@ func (r *Runtime) compileIOV(class opClass, scale float64, iov []armci.GIOV, pro
 // side for get: two segments writing the same bytes within one epoch
 // may land in either order, whereas overlapping get sources are
 // read-read and harmless.
-func (r *Runtime) compileAuto(class opClass, scale float64, segs []iovSeg) (*plan, error) {
+func (r *Runtime) compileAuto(class OpClass, scale float64, segs []iovSeg) (*plan, error) {
 	r.W.AutoScans++
 	safe := true
 	tree := &r.scan
@@ -188,7 +237,7 @@ func (r *Runtime) compileAuto(class opClass, scale float64, segs []iovSeg) (*pla
 			break
 		}
 		dst := sg.remote.VA
-		if class == classGet {
+		if class == ClassGet {
 			dst = sg.local.VA
 		}
 		if !tree.Insert(dst, dst+int64(sg.n)) {
@@ -212,7 +261,7 @@ func (r *Runtime) compileAuto(class opClass, scale float64, segs []iovSeg) (*pla
 
 // compileConservative plans one contiguous operation per segment, each
 // in its own epoch; segments may overlap and span GMRs.
-func (r *Runtime) compileConservative(class opClass, scale float64, segs []iovSeg) *plan {
+func (r *Runtime) compileConservative(class OpClass, scale float64, segs []iovSeg) *plan {
 	csegs := make([]contigSeg, len(segs))
 	for i, sg := range segs {
 		csegs[i] = contigSeg{local: sg.local, remote: sg.remote, n: sg.n}
@@ -225,13 +274,13 @@ func (r *Runtime) compileConservative(class opClass, scale float64, segs []iovSe
 // MPI reports an error (SectionVI.B's motivation). Local buffers
 // living in global space force the conservative plan (staging cannot
 // be done while the remote epoch is open).
-func (r *Runtime) compileBatched(class opClass, scale float64, segs []iovSeg) (*plan, error) {
+func (r *Runtime) compileBatched(class OpClass, scale float64, segs []iovSeg) (*plan, error) {
 	for _, sg := range segs {
 		if _, _, _, inGMR := r.W.find(sg.local); inGMR && !r.Opt.NoStaging {
 			return r.compileConservative(class, scale, segs), nil
 		}
 	}
-	if class == classGet {
+	if class == ClassGet {
 		// Gets land in local destinations: aliased destinations within
 		// one epoch would be written in arbitrary order, so serialize
 		// them through the per-segment plan.
@@ -261,7 +310,7 @@ func (r *Runtime) compileBatched(class opClass, scale float64, segs []iovSeg) (*
 // compileIOVDirect plans one MPI indexed datatype per side and a
 // single operation, letting MPI choose pack/unpack or batching
 // (SectionVI.A's direct method).
-func (r *Runtime) compileIOVDirect(class opClass, scale float64, segs []iovSeg) (*plan, error) {
+func (r *Runtime) compileIOVDirect(class OpClass, scale float64, segs []iovSeg) (*plan, error) {
 	g, gr, _, err := r.remoteGMR(segs[0].remote)
 	if err != nil {
 		return nil, err

@@ -7,26 +7,25 @@
 // created with plain MPI_Win_create) and once as a node-local
 // MPI_Win_allocate_shared window spanning the ranks of the caller's
 // node. A translation table maps <rank, offset> to the right window,
-// and a per-target locality classifier picks a tier at plan time:
+// and a locality classifier picks a tier per operation:
 //
 //	self      - direct load/store on the caller's own memory
 //	same-node - one shared-memory window epoch (lock, shm copy, unlock)
-//	remote    - the wrapped armcimpi runtime's RMA transfer plans
+//	remote    - the engine's RMA transfer plans, large transfers
+//	            staged through the node-leader rank (hierarchical
+//	            put/get behind a per-node staging pipe)
 //
-// Large remote transfers additionally stage through the node-leader
-// rank (hierarchical put/get): the leader aggregates same-destination
-// traffic behind a per-node staging pipe before the wire transfer,
-// modeled as a shared-memory copy into the leader's buffer plus
-// queueing behind the pipe, attributed to the profiler's leader.queue
-// and leader.copy phases.
-//
-// The remote tier delegates to an embedded armcimpi.Runtime whose
-// NoShm option is forced on, so the wire path is pure RMA and the
-// transfer-plan engine (strided/IOV compilation, batching, conflict
-// scanning) is reused rather than forked. Epoch, fence, mutex, RMW,
-// group, and access-mode semantics are the inner runtime's; the
-// near tiers complete remotely before returning, so the inner fence
-// discipline covers them for free.
+// The runtime itself is the armcimpi transfer-plan engine: dartmpi
+// embeds armcimpi.Runtime and contributes exactly two things — this
+// file's dual-window allocation bookkeeping, and the RoutePolicy in
+// policy.go that the engine consults once per operation. The engine's
+// plan compiler and executor carry every tier out (self-copy and
+// node-window epochs are plan kinds, leader staging is a plan
+// prologue), so strided/IOV compilation, batching, conflict scanning,
+// epochs, fences, mutexes, RMW, groups, and access modes are shared,
+// not forked. The engine's own options have NoShm forced on, keeping
+// the wire tier pure RMA; the user's NoShm lives in the policy, which
+// collapses every decision onto that wire path.
 package dartmpi
 
 import (
@@ -37,9 +36,6 @@ import (
 	"repro/internal/armcimpi"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
-	"repro/internal/obs"
-	"repro/internal/obs/profile"
-	"repro/internal/sim"
 )
 
 // DefaultStageThreshold is the smallest remote transfer, in bytes,
@@ -69,11 +65,8 @@ type World struct {
 	// it so every rank of the collective fails alike.
 	testAttachFault func(bytes int) error
 
-	// leaderBusy is the staging-pipe horizon of each node's leader
-	// rank: hierarchical transfers queue behind it.
-	leaderBusy []sim.Time
-
-	// Counters.
+	// Counters, updated by the policy's Count/Staged hooks from the
+	// engine's single routing decision point.
 	SelfOps     int64 // ops routed to the load-store tier
 	NodeOps     int64 // ops routed to the same-node shm tier
 	RemoteOps   int64 // ops routed to the inter-node RMA tier
@@ -97,13 +90,10 @@ type alloc struct {
 // world shares the same MPI world, so collectives, observability, and
 // the fabric are common to both layers.
 func NewWorld(mw *mpi.World) *World {
-	cpn := mw.M.Par.CoresPerNode
-	nnodes := (mw.M.NRanks + cpn - 1) / cpn
 	return &World{
-		Mpi:        mw,
-		Inner:      armcimpi.NewWorld(mw),
-		ids:        map[int]*alloc{},
-		leaderBusy: make([]sim.Time, nnodes),
+		Mpi:   mw,
+		Inner: armcimpi.NewWorld(mw),
+		ids:   map[int]*alloc{},
 	}
 }
 
@@ -118,8 +108,8 @@ type dartSpan struct {
 // returns its group rank for addr.Rank, by binary search over the
 // rank's sorted interval list. Containment (not just base membership)
 // is required, so the near tiers can never overrun a slice;
-// out-of-range accesses fall through to the inner runtime, which
-// reports them with its usual diagnostics.
+// out-of-range accesses fall through to the wire path, which reports
+// them with the engine's usual diagnostics.
 func (w *World) find(addr armci.Addr, n int) (*alloc, int, bool) {
 	spans := w.spans[addr.Rank]
 	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi > addr.VA })
@@ -197,44 +187,37 @@ func (w *World) NumAllocs() int { return len(w.allocs) }
 // shared world state, so every rank of a collective fails alike.
 func (w *World) SetAttachFault(f func(bytes int) error) { w.testAttachFault = f }
 
-// Runtime is one rank's dartmpi handle.
+// Runtime is one rank's dartmpi handle: the shared transfer-plan
+// engine itself, steered by the dart routing policy. Every ARMCI
+// operation — contiguous, strided, IOV, blocking, nonblocking — is the
+// promoted engine method; only allocation (the dual-window pair) and
+// the policy are dartmpi's own.
 type Runtime struct {
-	W   *World
-	R   *mpi.Rank
-	Opt armcimpi.Options
+	*armcimpi.Runtime
 
-	inner *armcimpi.Runtime
+	W *World
+	// Opt holds the user's options. The embedded engine runs with NoShm
+	// forced on (the wire tier is pure RMA); the policy consults this
+	// copy for the user's NoShm, NoLeaderStaging, and StageThreshold.
+	Opt armcimpi.Options
 }
 
-// New creates the per-rank dartmpi runtime handle. The inner armcimpi
-// runtime gets the same options with NoShm forced on: the remote tier
-// must be pure RMA (dartmpi owns the shared-memory tier), and under
-// the user's own NoShm the whole runtime collapses onto that path.
+// New creates the per-rank dartmpi runtime handle: the shared engine
+// with NoShm forced on (dartmpi owns the shared-memory tiers) and the
+// dart routing policy installed. Under the user's own NoShm the policy
+// collapses every decision onto the wire path.
 func New(w *World, r *mpi.Rank, opt armcimpi.Options) *Runtime {
-	innerOpt := opt
-	innerOpt.NoShm = true
-	return &Runtime{W: w, R: r, Opt: opt, inner: armcimpi.New(w.Inner, r, innerOpt)}
+	engineOpt := opt
+	engineOpt.NoShm = true
+	rt := &Runtime{Runtime: armcimpi.New(w.Inner, r, engineOpt), W: w, Opt: opt}
+	rt.SetRoutePolicy(dartPolicy{rt})
+	return rt
 }
 
 var _ armci.Runtime = (*Runtime)(nil)
 
 // Name identifies the implementation.
 func (r *Runtime) Name() string { return "dartmpi" }
-
-// Rank returns the calling world rank.
-func (r *Runtime) Rank() int { return r.R.ID() }
-
-// Nprocs returns the world size.
-func (r *Runtime) Nprocs() int { return r.W.Mpi.N }
-
-// Proc returns the simulation context.
-func (r *Runtime) Proc() *sim.Proc { return r.R.P }
-
-// obsRec returns the job's recorder (nil-safe methods when off).
-func (r *Runtime) obsRec() *obs.Recorder { return r.W.Mpi.Obs }
-
-// prof returns the job's profiler, or nil.
-func (r *Runtime) prof() *profile.Profiler { return r.W.Mpi.Obs.Prof() }
 
 // stageThreshold resolves the leader-staging cutoff.
 func (r *Runtime) stageThreshold() int {
@@ -250,13 +233,13 @@ func (r *Runtime) stageThreshold() int {
 // is released (collectively — attach errors are symmetric across the
 // group) so the GMR table does not leak a window and its memory.
 func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
-	addrs, err := r.inner.Malloc(bytes)
+	addrs, err := r.Runtime.Malloc(bytes)
 	if err != nil {
 		return nil, err
 	}
 	world := r.R.CommWorld()
 	if err := r.attachNodeWin(world, world.GroupShared(), addrs[r.Rank()], bytes); err != nil {
-		if ferr := r.inner.Free(addrs[r.Rank()]); ferr != nil {
+		if ferr := r.Runtime.Free(addrs[r.Rank()]); ferr != nil {
 			return nil, fmt.Errorf("%w (inner free during cleanup also failed: %v)", err, ferr)
 		}
 		return nil, err
@@ -267,13 +250,13 @@ func (r *Runtime) Malloc(bytes int) ([]armci.Addr, error) {
 // MallocGroup allocates over an ARMCI group, with the same error-path
 // cleanup as Malloc.
 func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
-	addrs, err := r.inner.MallocGroup(g, bytes)
+	addrs, err := r.Runtime.MallocGroup(g, bytes)
 	if err != nil {
 		return nil, err
 	}
 	mine := addrs[g.RankOf(r.Rank())]
 	if err := r.attachNodeWin(armci.GroupCommOf(g), g.Ranks, mine, bytes); err != nil {
-		if ferr := r.inner.FreeGroup(g, mine); ferr != nil {
+		if ferr := r.Runtime.FreeGroup(g, mine); ferr != nil {
 			return nil, fmt.Errorf("%w (inner free during cleanup also failed: %v)", err, ferr)
 		}
 		return nil, err
@@ -284,7 +267,7 @@ func (r *Runtime) MallocGroup(g *armci.Group, bytes int) ([]armci.Addr, error) {
 // attachNodeWin creates the allocation's node-local shared window (the
 // second half of the dual-window pair) and enters it into the
 // translation table. Under NoShm the near tiers are disabled, so no
-// node window is created and every access rides the inner RMA path.
+// node window is created and every access rides the wire path.
 func (r *Runtime) attachNodeWin(comm *mpi.Comm, members []int, myAddr armci.Addr, bytes int) error {
 	if r.Opt.NoShm {
 		return nil
@@ -378,7 +361,7 @@ func newAlloc(members []int, shareGroup bool) *alloc {
 
 // Free collectively releases a world allocation.
 func (r *Runtime) Free(addr armci.Addr) error {
-	return r.freeOn(r.R.CommWorld(), addr, func() error { return r.inner.Free(addr) })
+	return r.freeOn(r.R.CommWorld(), addr, func() error { return r.Runtime.Free(addr) })
 }
 
 // FreeGroup releases a group allocation.
@@ -386,7 +369,7 @@ func (r *Runtime) FreeGroup(g *armci.Group, addr armci.Addr) error {
 	if g == nil {
 		return fmt.Errorf("dartmpi: FreeGroup with nil group")
 	}
-	return r.freeOn(armci.GroupCommOf(g), addr, func() error { return r.inner.FreeGroup(g, addr) })
+	return r.freeOn(armci.GroupCommOf(g), addr, func() error { return r.Runtime.FreeGroup(g, addr) })
 }
 
 // freeOn tears down the node window first (its group is a sub-set of
@@ -428,15 +411,4 @@ func (r *Runtime) freeOn(comm *mpi.Comm, addr armci.Addr, innerFree func() error
 		r.W.unregister(a)
 	}
 	return innerFree()
-}
-
-// MallocLocal allocates local buffer memory via the inner runtime.
-func (r *Runtime) MallocLocal(bytes int) armci.Addr { return r.inner.MallocLocal(bytes) }
-
-// FreeLocal releases local buffer memory.
-func (r *Runtime) FreeLocal(addr armci.Addr) error { return r.inner.FreeLocal(addr) }
-
-// LocalBytes exposes the raw bytes of a local buffer.
-func (r *Runtime) LocalBytes(addr armci.Addr, n int) ([]byte, error) {
-	return r.inner.LocalBytes(addr, n)
 }

@@ -46,7 +46,24 @@ const (
 	CDsRequests = "ds.requests" // requests sent to remote data servers
 	TDsWait     = "ds.wait"     // time requests spent queued at servers
 
-	// Locality-aware runtime (internal/dartmpi).
+	// Transfer-plan routing layer (internal/armcimpi route.go): one
+	// op/byte pair per route, emitted from the engine's single
+	// RoutePolicy decision point. Per-segment re-entries of an already
+	// routed descriptor inherit the descriptor's decision and are not
+	// re-counted.
+	CRouteSelf        = "route.self.ops"    // decisions routed to the load-store tier
+	CRouteSelfBytes   = "route.self.bytes"  // payload bytes behind those decisions
+	CRouteNode        = "route.node.ops"    // decisions routed to the same-node shm tier
+	CRouteNodeBytes   = "route.node.bytes"  // payload bytes behind those decisions
+	CRouteRMA         = "route.rma.ops"     // decisions routed to the wire RMA tier
+	CRouteRMABytes    = "route.rma.bytes"   // payload bytes behind those decisions
+	CRouteStaged      = "route.staged.ops"  // decisions routed to leader-staged RMA
+	CRouteStagedBytes = "route.staged.bytes" // payload bytes behind those decisions
+
+	// Locality-aware runtime (internal/dartmpi). The dart.* names are
+	// kept as aliases of the route.* counters for dartmpi jobs (artifact
+	// compatibility with PR 6); dart.leader.* counts staging events the
+	// executor actually modeled, route.staged.* counts the decisions.
 	CDartSelf        = "dart.self.ops"      // ops routed to the load-store tier
 	CDartNode        = "dart.node.ops"      // ops routed to the same-node shm tier
 	CDartRemote      = "dart.remote.ops"    // ops routed to the inter-node RMA tier
