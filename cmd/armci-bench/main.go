@@ -13,7 +13,8 @@
 //	armci-bench -fig ablations
 //	armci-bench -fig table2
 //	armci-bench -fig wallclock
-//	armci-bench -fig scale [-quick] [-sched goroutine|continuation]
+//	armci-bench -fig scale [-quick] [-sched goroutine|continuation|parallel]
+//	armci-bench -fig parallel-speedup [-quick] [-shards n]
 //
 // With no -platform, figure sweeps run on all four platforms. A
 // combined -fig figN-plat spelling (e.g. -fig fig3-ib) selects one
@@ -32,6 +33,15 @@
 // not fit 16k ranks on a laptop-class host); -sched selects the mode
 // explicitly, for every figure. Scale is excluded from -fig all
 // because its jobs dwarf every other sweep.
+//
+// The parallel-speedup figure sweeps the sharded parallel engine
+// (-sched parallel) over host shard counts on the 16k-rank scale
+// exchange, reporting events per host second and the speedup over one
+// shard. -shards caps the sweep (default 8). Like wallclock it is
+// host-time, machine dependent, and excluded from -fig all; its JSON
+// export is a trajectory record, not a guarded artifact. Full-stack
+// jobs under -sched parallel always run as a single shard (identical
+// schedules to the other modes); only shard-confined sweeps fan out.
 //
 // Runtime tuning (applied to every job a sweep constructs; an
 // ablation's own axis still overrides these):
@@ -95,7 +105,10 @@ func main() {
 		fmt.Sprintf("extra ARMCI runtime series for the Figure 3 comparison (%s)",
 			strings.Join(harness.ImplNames(), ", ")))
 	sched := flag.String("sched", "",
-		"engine execution mode: goroutine (default) or continuation; -fig scale defaults to continuation")
+		fmt.Sprintf("engine execution mode (%s); -fig scale defaults to continuation",
+			strings.Join(sim.ModeNames(), ", ")))
+	shards := flag.Int("shards", 0,
+		"host shard cap for -sched parallel (parallel-speedup sweep; full-stack jobs always run one shard)")
 	flag.Parse()
 
 	schedSet := false
@@ -104,14 +117,11 @@ func main() {
 			schedSet = true
 		}
 	})
-	if schedSet {
-		mode, err := sim.ParseMode(*sched)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "armci-bench:", err)
-			os.Exit(1)
-		}
-		harness.Sched = mode
-		scaleSched = &mode
+	// Scheduler flags are validated before any job is constructed, so a
+	// typo fails fast with the mode list instead of mid-sweep.
+	if err := installSched(*sched, schedSet, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "armci-bench:", err)
+		os.Exit(1)
 	}
 
 	if *runtimeName != "" {
@@ -130,6 +140,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// installSched validates the -sched/-shards flags and installs them as
+// the harness-wide scheduler configuration. It runs before any sweep
+// constructs a job, so invalid combinations fail fast: an unknown mode
+// is rejected with the full mode list (sim.ParseMode's error), and a
+// shard count above one demands the parallel engine.
+func installSched(sched string, schedSet bool, shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("-shards %d: shard count must be positive", shards)
+	}
+	if schedSet {
+		mode, err := sim.ParseMode(sched)
+		if err != nil {
+			return err
+		}
+		harness.Sched = mode
+		scaleSched = &mode
+	}
+	if shards > 1 && harness.Sched != sim.ModeParallel {
+		return fmt.Errorf("-shards %d requires -sched parallel (current mode %s)", shards, harness.Sched)
+	}
+	harness.Shards = shards
+	return nil
 }
 
 // installTweak translates the runtime-tuning flags into the bench
@@ -190,7 +224,7 @@ func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, json
 		}
 	}
 	switch fig {
-	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablation-locality", "ablations", "table2", "wallclock", "scale", "all":
+	case "3", "4", "5", "ablation-shm", "ablation-nbfanout", "ablation-locality", "ablations", "table2", "wallclock", "scale", "parallel-speedup", "all":
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -437,6 +471,26 @@ func runFigures(fig, plat, opFilter string, quick bool, rec *obs.Recorder, jsonD
 		}
 		cfg.Obs = rec
 		f, err := bench.Scale(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(f, jsonDir)
+	}
+	// parallel-speedup is host-time like wallclock and likewise excluded
+	// from -fig all.
+	if fig == "parallel-speedup" {
+		cfg := bench.DefaultParallel()
+		if quick {
+			cfg = bench.QuickParallel()
+		}
+		if harness.Shards > 0 {
+			var list []int
+			for k := 1; k < harness.Shards; k *= 2 {
+				list = append(list, k)
+			}
+			cfg.Shards = append(list, harness.Shards)
+		}
+		f, err := bench.ParallelSpeedup(cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/armcimpi"
@@ -8,6 +9,57 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sim"
 )
+
+// TestInstallSched covers the scheduler flag surface: it must fail
+// fast — before any job is built — with an error that enumerates every
+// valid mode name, and reject shard fan-out outside parallel mode.
+func TestInstallSched(t *testing.T) {
+	reset := func() {
+		harness.Sched = 0
+		harness.Shards = 0
+		scaleSched = nil
+	}
+	defer reset()
+
+	reset()
+	if err := installSched("fiber", true, 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	} else {
+		for _, name := range sim.ModeNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not enumerate mode %q", err, name)
+			}
+		}
+	}
+	if scaleSched != nil || harness.Sched != 0 {
+		t.Error("failed installSched still installed a mode")
+	}
+
+	reset()
+	if err := installSched("", false, 8); err == nil {
+		t.Error("-shards 8 without -sched parallel accepted")
+	}
+	reset()
+	if err := installSched("continuation", true, 4); err == nil {
+		t.Error("-shards 4 with -sched continuation accepted")
+	}
+
+	reset()
+	if err := installSched("parallel", true, 8); err != nil {
+		t.Fatal(err)
+	}
+	if harness.Sched != sim.ModeParallel || harness.Shards != 8 {
+		t.Errorf("Sched=%v Shards=%d, want parallel/8", harness.Sched, harness.Shards)
+	}
+	if scaleSched == nil || *scaleSched != sim.ModeParallel {
+		t.Error("scale override not installed")
+	}
+
+	reset()
+	if err := installSched("", false, 0); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+}
 
 // TestInstallTweak covers the runtime-tuning flag surface: no flags
 // installs no hook, bad method names are rejected before any sweep

@@ -49,8 +49,8 @@ type ScaleConfig struct {
 // epochs are exactly what these rank counts rule out.
 func DefaultScale() ScaleConfig {
 	return ScaleConfig{
-		Ranks:  []int{4096, 8192, 16384},
-		Params: nwchem.Params{NO: 4, NV: 64, Blk: 32, Iter: 1, Chunk: 1, FlopMult: 40},
+		Ranks:          []int{4096, 8192, 16384},
+		Params:         nwchem.Params{NO: 4, NV: 64, Blk: 32, Iter: 1, Chunk: 1, FlopMult: 40},
 		FanoutOwners:   64,
 		FanoutBlkElems: 512,
 		FanoutIters:    2,
@@ -62,8 +62,8 @@ func DefaultScale() ScaleConfig {
 // 4096-rank point with a coarser task tiling (one task per rank).
 func QuickScale() ScaleConfig {
 	return ScaleConfig{
-		Ranks:  []int{4096},
-		Params: nwchem.Params{NO: 4, NV: 64, Blk: 64, Iter: 1, Chunk: 1, FlopMult: 40},
+		Ranks:          []int{4096},
+		Params:         nwchem.Params{NO: 4, NV: 64, Blk: 64, Iter: 1, Chunk: 1, FlopMult: 40},
 		FanoutOwners:   64,
 		FanoutBlkElems: 512,
 		FanoutIters:    2,

@@ -55,6 +55,25 @@ func guardedFigureJSON(t *testing.T, mode sim.Mode) map[string][]byte {
 	return out
 }
 
+// diffFigureSets fails the test on any difference between two guarded
+// figure sets generated under different engine modes.
+func diffFigureSets(t *testing.T, aName, bName string, a, b map[string][]byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("figure sets differ: %d (%s) vs %d (%s)", len(a), aName, len(b), bName)
+	}
+	for name, ab := range a {
+		bb, ok := b[name]
+		if !ok {
+			t.Errorf("figure %q missing from %s run", name, bName)
+			continue
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("figure %q differs between modes:\n--- %s ---\n%s\n--- %s ---\n%s", name, aName, ab, bName, bb)
+		}
+	}
+}
+
 // TestModeEquivalenceGuardedFigures proves the continuation scheduler
 // is observationally identical to the goroutine reference at the bench
 // level: every guarded figure's JSON must be byte-identical across the
@@ -63,19 +82,21 @@ func guardedFigureJSON(t *testing.T, mode sim.Mode) map[string][]byte {
 func TestModeEquivalenceGuardedFigures(t *testing.T) {
 	g := guardedFigureJSON(t, sim.ModeGoroutine)
 	c := guardedFigureJSON(t, sim.ModeContinuation)
-	if len(g) != len(c) {
-		t.Fatalf("figure sets differ: %d vs %d", len(g), len(c))
-	}
-	for name, gb := range g {
-		cb, ok := c[name]
-		if !ok {
-			t.Errorf("figure %q missing from continuation run", name)
-			continue
-		}
-		if !bytes.Equal(gb, cb) {
-			t.Errorf("figure %q differs between modes:\n--- goroutine ---\n%s\n--- continuation ---\n%s", name, gb, cb)
-		}
-	}
+	diffFigureSets(t, "goroutine", "continuation", g, c)
+}
+
+// TestParallelEquivalence extends the guarantee to the parallel
+// engine: every guarded figure regenerated under -sched parallel is
+// byte-identical to the goroutine reference. Full-stack jobs run the
+// parallel engine single-shard (the harness pins them — their layers
+// mutate cross-rank state synchronously), so this pins the shard
+// dispatcher, window plumbing, and drain paths against the reference
+// schedule; multi-shard determinism is covered by the sim and fabric
+// equivalence tests plus TestParallelScaleRunDeterminism.
+func TestParallelEquivalence(t *testing.T) {
+	g := guardedFigureJSON(t, sim.ModeGoroutine)
+	p := guardedFigureJSON(t, sim.ModeParallel)
+	diffFigureSets(t, "goroutine", "parallel", g, p)
 }
 
 // TestScaleSmokeSeries sanity-checks the scale figure's shape on the

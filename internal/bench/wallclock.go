@@ -145,19 +145,33 @@ type WallclockConfig struct {
 	Ops        int // operations per issue-rate point
 	PackIters  int // round trips per pack point
 	EventSteps int // elapse steps per rank per events point
+
+	// Scale-workload shape: the cross-node exchange of the parallel
+	// sweep (ParallelScaleRun), measured single-shard here so the
+	// speedup figure has a host-time baseline at the same rank counts.
+	// The wall-clock dimension lives in this (non-guarded) figure so
+	// BENCH_scale.json stays a byte-compared virtual-time artifact.
+	ScaleRanks  []int // rank counts for the scale-events series
+	ScaleRounds int   // exchange rounds per rank
 }
 
 // DefaultWallclock returns a configuration that completes in a few
 // host seconds on commodity hardware.
 func DefaultWallclock() WallclockConfig {
-	return WallclockConfig{Ops: 400, PackIters: 4000, EventSteps: 400}
+	return WallclockConfig{
+		Ops: 400, PackIters: 4000, EventSteps: 400,
+		ScaleRanks: []int{4096, 16384}, ScaleRounds: 4,
+	}
 }
 
 // QuickWallclock returns a smoke-test configuration (used by CI under
 // the race detector) that touches every measured path in well under a
 // second.
 func QuickWallclock() WallclockConfig {
-	return WallclockConfig{Ops: 10, PackIters: 10, EventSteps: 10}
+	return WallclockConfig{
+		Ops: 10, PackIters: 10, EventSteps: 10,
+		ScaleRanks: []int{128}, ScaleRounds: 1,
+	}
 }
 
 // Wallclock runs the reduced wall-clock sweep and returns it as a
@@ -205,6 +219,13 @@ func Wallclock(cfg WallclockConfig) (*Figure, error) {
 			return nil, fmt.Errorf("wallclock events(%d): %w", nranks, err)
 		}
 		fig.Add("scheduler (events/s)", float64(nranks), float64(ev)/d.Seconds())
+	}
+	for _, nranks := range cfg.ScaleRanks {
+		st, d, err := ParallelScaleRun(nranks, cfg.ScaleRounds, 1)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock scale-events(%d): %w", nranks, err)
+		}
+		fig.Add("scale-exchange (events/s)", float64(nranks), float64(st.Events)/d.Seconds())
 	}
 	return fig, nil
 }

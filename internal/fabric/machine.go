@@ -98,6 +98,11 @@ type Machine struct {
 	ShmCopies   int64
 	ShmBytes    int64
 
+	// Per-rank injection counters for the shard-confined delivery path
+	// (shard.go); the global counters above would race across shards.
+	sendMsgs  []int64
+	sendBytes []int64
+
 	// Obs, when non-nil, receives per-rank injection counters and
 	// per-node NIC link busy time. All hooks are nil-safe no-ops.
 	Obs *obs.Recorder
@@ -134,6 +139,8 @@ func NewMachine(eng *sim.Engine, par Params, nranks int) (*Machine, error) {
 	m.nics = make([]nic, nodes)
 	m.boxes = make([]*mailbox, nranks)
 	m.spaces = make([]*AddrSpace, nranks)
+	m.sendMsgs = make([]int64, nranks)
+	m.sendBytes = make([]int64, nranks)
 	for i := range m.boxes {
 		m.boxes[i] = &mailbox{}
 		m.spaces[i] = newAddrSpace(i)

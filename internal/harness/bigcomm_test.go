@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/armcimpi"
 	"repro/internal/platform"
@@ -58,5 +61,91 @@ func TestBigCommMetadataPaths(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestBigCommDrainPanicAfterMaxTime pins the drain path at
+// BigCommThreshold scale: a 4096-rank job hits Engine.MaxTime while
+// ranks are parked inside the gather-at-root metadata collectives, and
+// one rank's deferred cleanup panics while the drain unwinds it. The
+// run must still return — no hang, no leaked fibers — with exactly
+// ErrTimeLimit, and the whole outcome must be byte-identical across
+// repeated runs and across the continuation and (single-shard)
+// parallel schedulers: once draining starts the engine never
+// re-examines rank failures, so the late panic cannot perturb the
+// reported error or the drain order.
+func TestBigCommDrainPanicAfterMaxTime(t *testing.T) {
+	const nranks = 4096
+	plat := platform.Get(platform.CrayXT5)
+
+	run := func(t *testing.T, mode sim.Mode) string {
+		opt := armcimpi.DefaultOptions()
+		opt.UseMPI3 = true
+		j, err := NewJob(plat, nranks, ImplARMCIMPI, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Eng.Mode = mode
+		// Small enough to fire while the 4096-rank metadata exchange
+		// (window creation, address-vector gather/bcast) is in flight,
+		// so most ranks drain out of collective parks.
+		j.Eng.MaxTime = sim.FromSeconds(100e-6)
+		err = j.Eng.Run(nranks, func(p *sim.Proc) {
+			if p.ID() == 37 {
+				// Runs during the drain unwinding, i.e. strictly after
+				// the deadline: the engine must tolerate a panic from a
+				// rank it is in the middle of tearing down.
+				defer func() { panic("cleanup fault after deadline") }()
+			}
+			rt := j.Runtime(p)
+			addrs, err := rt.Malloc(512)
+			must(t, err)
+			src := rt.MallocLocal(64)
+			for i := 0; ; i++ {
+				target := (rt.Rank() + 1 + i) % nranks
+				must(t, rt.Put(src, addrs[target], 64))
+				rt.Barrier()
+			}
+		})
+		var tl *sim.ErrTimeLimit
+		if !errors.As(err, &tl) {
+			t.Fatalf("mode=%s: error %v, want *sim.ErrTimeLimit", mode, err)
+		}
+		return err.Error()
+	}
+
+	// settle waits for the drained fibers' goroutines to exit; the
+	// count only ever returns to baseline if the drain reached every
+	// started rank despite the mid-drain panic.
+	settle := func(t *testing.T, baseline int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			runtime.GC()
+			n := runtime.NumGoroutine()
+			if n <= baseline+4 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutines settled at %d, baseline %d: drained fibers leaked", n, baseline)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	errTexts := map[sim.Mode]string{}
+	for _, mode := range []sim.Mode{sim.ModeContinuation, sim.ModeParallel} {
+		t.Run(mode.String(), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			first := run(t, mode)
+			second := run(t, mode)
+			if first != second {
+				t.Errorf("drain is nondeterministic: %q then %q", first, second)
+			}
+			settle(t, baseline)
+			errTexts[mode] = first
+		})
+	}
+	if a, b := errTexts[sim.ModeContinuation], errTexts[sim.ModeParallel]; a != "" && b != "" && a != b {
+		t.Errorf("modes disagree on the time-limit error: continuation %q, parallel %q", a, b)
 	}
 }

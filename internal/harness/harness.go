@@ -50,6 +50,33 @@ func ImplNames() []string {
 // Callers that need a per-job override set Job.Eng.Mode before Run.
 var Sched sim.Mode
 
+// Shards is the host shard count requested for parallel-mode runs (set
+// from cmd/armci-bench -shards). Full ARMCI stack jobs ignore it — see
+// NewJobObs — but shard-confined sweeps (bench.ParallelSpeedup) honor
+// it as their default shard count.
+var Shards int
+
+// ApplyShards configures eng for multi-shard parallel execution over
+// nranks ranks of a machine with parameters par: a node-aligned rank
+// partition (fabric.NodeAlignedPartition, so NICs, mailboxes, and shm
+// windows never straddle a shard boundary) and the fabric's minimum
+// cross-node latency as the conservative lookahead. It returns the
+// effective shard count (clamped to the node count; 1 when eng is not
+// in parallel mode or shards <= 1, in which case eng is untouched).
+func ApplyShards(eng *sim.Engine, par fabric.Params, nranks, shards int) int {
+	if eng.Mode != sim.ModeParallel || shards <= 1 {
+		return 1
+	}
+	part, k := fabric.NodeAlignedPartition(par, nranks, shards)
+	if k <= 1 {
+		return 1
+	}
+	eng.Shards = k
+	eng.Partition = part
+	eng.Lookahead = par.MinCrossNodeLatency()
+	return k
+}
+
 // ParseImpl validates an implementation name from a CLI flag.
 func ParseImpl(s string) (Impl, error) {
 	switch Impl(s) {
@@ -94,6 +121,16 @@ func NewJobObs(plat *platform.Platform, nranks int, impl Impl, opt armcimpi.Opti
 	}
 	eng := sim.NewEngine()
 	eng.Mode = Sched
+	if Sched == sim.ModeParallel {
+		// Full-stack jobs mutate cross-rank state synchronously at the
+		// origin — NIC clocks of both endpoints, MPI lock queues, the
+		// shared recorder — so they always run as one shard, where the
+		// parallel engine executes the exact continuation-mode schedule.
+		// Multi-shard execution is reserved for shard-confined workloads
+		// built directly on sim+fabric (fabric.DeliverSharded; see
+		// bench.ParallelSpeedup and ApplyShards).
+		eng.Shards = 1
+	}
 	m, err := fabric.NewMachine(eng, par, nranks)
 	if err != nil {
 		return nil, err

@@ -117,19 +117,19 @@ func TestFlattenDegenerateShapes(t *testing.T) {
 	cases := []Datatype{
 		TypeContiguous(0),
 		TypeContiguous(1),
-		TypeVector(0, 8, 16),             // zero count -> empty contig
-		TypeVector(4, 0, 16),             // zero blocklen -> empty contig
-		TypeVector(4, 8, 8),              // stride == blocklen -> contig
-		TypeVector(1, 8, 64),             // single block -> contig
-		TypeIndexed(nil, nil),            // empty lists
-		TypeIndexed([]int{0}, []int{0}),  // single zero-length block
-		TypeIndexed([]int{0, 8}, []int{8, 8}),      // adjacent -> contig
-		TypeIndexed([]int{8, 0}, []int{4, 4}),      // unsorted runs
-		TypeIndexed([]int{0, 16, 8}, []int{4, 4, 4}), // interleaved order
-		TypeSubarray([]int{4, 4}, []int{4, 4}, []int{0, 0}, 8),   // full array
-		TypeSubarray([]int{4, 4}, []int{0, 4}, []int{0, 0}, 8),   // empty
-		TypeSubarray([]int{4, 4}, []int{2, 4}, []int{1, 0}, 8),   // dense rows
-		TypeSubarray([]int{4, 4}, []int{2, 2}, []int{1, 1}, 8),   // strided
+		TypeVector(0, 8, 16),                                   // zero count -> empty contig
+		TypeVector(4, 0, 16),                                   // zero blocklen -> empty contig
+		TypeVector(4, 8, 8),                                    // stride == blocklen -> contig
+		TypeVector(1, 8, 64),                                   // single block -> contig
+		TypeIndexed(nil, nil),                                  // empty lists
+		TypeIndexed([]int{0}, []int{0}),                        // single zero-length block
+		TypeIndexed([]int{0, 8}, []int{8, 8}),                  // adjacent -> contig
+		TypeIndexed([]int{8, 0}, []int{4, 4}),                  // unsorted runs
+		TypeIndexed([]int{0, 16, 8}, []int{4, 4, 4}),           // interleaved order
+		TypeSubarray([]int{4, 4}, []int{4, 4}, []int{0, 0}, 8), // full array
+		TypeSubarray([]int{4, 4}, []int{0, 4}, []int{0, 0}, 8), // empty
+		TypeSubarray([]int{4, 4}, []int{2, 4}, []int{1, 0}, 8), // dense rows
+		TypeSubarray([]int{4, 4}, []int{2, 2}, []int{1, 1}, 8), // strided
 		TypeSubarray([]int{3, 3, 3}, []int{2, 2, 2}, []int{1, 1, 1}, 4),
 	}
 	for _, dt := range cases {

@@ -112,6 +112,13 @@ func (r *Recorder) Prof() *profile.Profiler {
 // virtual clock, and nranks sizes the per-rank lanes. Metrics from
 // successive jobs accumulate into the same registry.
 func (r *Recorder) BeginJob(label string, clock Clock, nranks int) {
+	r.beginJob(label, clock, nranks, true)
+}
+
+// beginJob is BeginJob with control over trace metadata emission: the
+// sub-recorders of a Sharded front suppress it on all shards but the
+// first, so the merged trace names the process and rank lanes once.
+func (r *Recorder) beginJob(label string, clock Clock, nranks int, meta bool) {
 	if r == nil {
 		return
 	}
@@ -124,7 +131,7 @@ func (r *Recorder) BeginJob(label string, clock Clock, nranks int) {
 	// idle ranks of a large job cost nothing.
 	r.parkAt = r.parkAt[:0]
 	r.parkWhy = r.parkWhy[:0]
-	if r.tr != nil {
+	if r.tr != nil && meta {
 		r.tr.meta(r.pid, label, nranks)
 	}
 	r.prof.BeginJob(clock, nranks)

@@ -171,7 +171,7 @@ func settledGoroutines(want int) int {
 // leak the parked ranks' goroutines — they are drained before Run
 // returns, in both modes.
 func TestNoGoroutineLeakOnPanic(t *testing.T) {
-	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation, ModeParallel} {
 		t.Run(mode.String(), func(t *testing.T) {
 			before := runtime.NumGoroutine()
 			for iter := 0; iter < 50; iter++ {
@@ -198,7 +198,7 @@ func TestNoGoroutineLeakOnPanic(t *testing.T) {
 // TestNoGoroutineLeakOnDeadlock: deadlocked runs drain every parked
 // rank before returning.
 func TestNoGoroutineLeakOnDeadlock(t *testing.T) {
-	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation, ModeParallel} {
 		t.Run(mode.String(), func(t *testing.T) {
 			before := runtime.NumGoroutine()
 			for iter := 0; iter < 50; iter++ {
@@ -221,7 +221,7 @@ func TestNoGoroutineLeakOnDeadlock(t *testing.T) {
 
 // TestNoGoroutineLeakOnMaxTime: time-limit aborts drain too.
 func TestNoGoroutineLeakOnMaxTime(t *testing.T) {
-	for _, mode := range []Mode{ModeGoroutine, ModeContinuation} {
+	for _, mode := range []Mode{ModeGoroutine, ModeContinuation, ModeParallel} {
 		t.Run(mode.String(), func(t *testing.T) {
 			before := runtime.NumGoroutine()
 			for iter := 0; iter < 50; iter++ {
@@ -277,6 +277,7 @@ func TestParseMode(t *testing.T) {
 	}{
 		{"goroutine", ModeGoroutine, true},
 		{"continuation", ModeContinuation, true},
+		{"parallel", ModeParallel, true},
 		{"fiber", 0, false},
 	} {
 		got, err := ParseMode(tc.in)
@@ -285,6 +286,15 @@ func TestParseMode(t *testing.T) {
 		}
 		if !tc.ok && err == nil {
 			t.Errorf("ParseMode(%q): want error", tc.in)
+		}
+		if !tc.ok && err != nil {
+			// The error must enumerate every valid mode name so CLI
+			// surfaces can fail fast with a usable message.
+			for _, name := range ModeNames() {
+				if !contains(err.Error(), name) {
+					t.Errorf("ParseMode(%q) error %q does not name mode %q", tc.in, err, name)
+				}
+			}
 		}
 	}
 }

@@ -28,9 +28,20 @@
 //     number of simultaneously parked ranks, not N. Proc records live in
 //     one slab. This is the mode that holds 16k-rank sweeps.
 //
-// Both modes share the event heap, the runnable FIFO, and the sequence
-// numbering, so they produce byte-identical schedules, Stats counters,
-// and observer callback streams (see TestContinuationEquivalence).
+//   - ModeParallel: ranks are partitioned into shards, each with its own
+//     event heap, runnable FIFO, clock, and continuation dispatcher, and
+//     the shards execute concurrently inside conservative time windows
+//     bounded by a lookahead (see parallel.go). With one shard the mode
+//     is exactly ModeContinuation — same heap, same sequence numbers,
+//     byte-identical observables — which is how the full communication
+//     stacks run under it; multiple shards require the workload to be
+//     shard-confined (cross-shard interaction only through AtRank with
+//     at least the configured Lookahead of delay).
+//
+// The sequential modes share the event heap, the runnable FIFO, and the
+// sequence numbering, so they produce byte-identical schedules, Stats
+// counters, and observer callback streams (see
+// TestContinuationEquivalence and TestParallelEquivalence).
 //
 // The engine's own wall-clock cost is kept off the simulated results'
 // critical path by three mechanisms: events are value-typed in the heap
@@ -108,6 +119,10 @@ const (
 	// directly by the event loop: lazily spawned fibers, direct
 	// handoff, pooled wake slots, slab-allocated Proc records.
 	ModeContinuation
+	// ModeParallel runs continuation dispatchers on per-shard worker
+	// goroutines synchronized by a conservative time-window barrier;
+	// see parallel.go and the Engine.Shards/Partition/Lookahead fields.
+	ModeParallel
 )
 
 func (m Mode) String() string {
@@ -116,22 +131,25 @@ func (m Mode) String() string {
 		return "goroutine"
 	case ModeContinuation:
 		return "continuation"
+	case ModeParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
 
-// ParseMode parses the String form of a Mode ("goroutine",
-// "continuation").
+// ModeNames lists the valid ParseMode inputs, in declaration order.
+func ModeNames() []string { return []string{"goroutine", "continuation", "parallel"} }
+
+// ParseMode parses the String form of a Mode. The error enumerates the
+// valid names so CLI surfaces can fail fast with a usable message.
 func ParseMode(s string) (Mode, error) {
-	switch s {
-	case "goroutine":
-		return ModeGoroutine, nil
-	case "continuation":
-		return ModeContinuation, nil
-	default:
-		return 0, fmt.Errorf("sim: unknown scheduler mode %q (want goroutine or continuation)", s)
+	for i, name := range ModeNames() {
+		if s == name {
+			return Mode(i), nil
+		}
 	}
+	return 0, fmt.Errorf("sim: unknown scheduler mode %q (valid modes: goroutine, continuation, parallel)", s)
 }
 
 // event is one scheduled occurrence. Pure wakeups (Elapse) carry the
@@ -211,6 +229,7 @@ const (
 type Proc struct {
 	id      int
 	e       *Engine
+	sh      *shard // parallel mode: owning shard; nil in sequential modes
 	state   procState
 	started bool   // continuation mode: fiber exists (or body has run)
 	why     string // what the proc is parked on, for deadlock reports
@@ -223,8 +242,14 @@ func (p *Proc) ID() int { return p.id }
 // Engine returns the engine this proc belongs to.
 func (p *Proc) Engine() *Engine { return p.e }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.e.now }
+// Now returns the current virtual time: the global clock in the
+// sequential modes, the owning shard's clock in parallel mode.
+func (p *Proc) Now() Time {
+	if p.sh != nil {
+		return p.sh.now
+	}
+	return p.e.now
+}
 
 // Observer receives scheduling callbacks from the engine, giving
 // observability layers access to the virtual clock at the moments
@@ -287,6 +312,31 @@ type Engine struct {
 	// virtual clock passes it — a watchdog against virtual livelock
 	// (event chains that never let the ranks finish).
 	MaxTime Time
+
+	// Shards, Partition, and Lookahead configure ModeParallel; the
+	// sequential modes ignore them. Shards is the worker count (<=0
+	// means 1; clamped to the rank count). Partition maps rank ->
+	// shard in [0, Shards); nil means contiguous equal blocks.
+	// Lookahead is the conservative window width: a cross-shard event
+	// must be scheduled at least this far past the sending shard's
+	// window start. Required > 0 when Shards > 1; the fabric's
+	// MinCrossNodeLatency is the natural bound.
+	Shards    int
+	Partition []int
+	Lookahead Time
+
+	// ShardObservers, when set, supplies one Observer per shard for
+	// multi-shard parallel runs (the single obs Observer would race).
+	// Callbacks arrive shard-concurrently but rank-sequentially: one
+	// shard never reports two ranks at once, and a given rank always
+	// reports from its home shard.
+	ShardObservers func(shard int) Observer
+
+	// shardSet is the live shard array of a parallel run (nil in
+	// sequential modes); it stays valid after Run so post-run Now()
+	// reads resolve against the final shard clocks.
+	shardSet []*shard
+	reports  chan shardReport
 }
 
 // ErrTimeLimit is returned by Run when the virtual clock exceeds
@@ -312,8 +362,19 @@ func NewEngine() *Engine {
 }
 
 // Now returns the current virtual time. It is safe to call from event
-// handlers and rank bodies alike.
-func (e *Engine) Now() Time { return e.now }
+// handlers and rank bodies alike. In a multi-shard parallel run there
+// is no global clock while shards execute, so Now panics there; use
+// Proc.Now or ShardClock instead. A single-shard parallel run (the
+// full-stack configuration) resolves to the one shard's clock.
+func (e *Engine) Now() Time {
+	if n := len(e.shardSet); n > 0 {
+		if n == 1 {
+			return e.shardSet[0].now
+		}
+		panic("sim: Engine.Now has no global value in a multi-shard parallel run; use Proc.Now or ShardClock")
+	}
+	return e.now
+}
 
 // Stats returns engine counters. Valid after Run has returned.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -324,8 +385,20 @@ func (e *Engine) Observe(o Observer) { e.obs = o }
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // It may be called from a rank body or from another handler. Handlers
-// run under the dispatcher and must not block.
+// run under the dispatcher and must not block. In a multi-shard
+// parallel run the target shard is ambiguous, so At panics there
+// (schedule through AtRank); with one shard it resolves locally.
 func (e *Engine) At(t Time, fn func()) {
+	if n := len(e.shardSet); n > 0 {
+		if e.draining {
+			return // unwinding cleanup; the run is over
+		}
+		if n > 1 {
+			panic("sim: Engine.At is ambiguous in a multi-shard parallel run; use AtRank")
+		}
+		e.shardSet[0].at(t, fn)
+		return
+	}
 	if t < e.now {
 		t = e.now
 	}
@@ -334,7 +407,41 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.At(e.Now()+d, fn) }
+
+// AtRank schedules fn at absolute virtual time t on behalf of rank
+// from, to run where rank to's state lives. In the sequential modes —
+// and whenever both ranks share a shard — it is exactly At. Across
+// shards the event is appended to the sending shard's per-destination
+// outbox and merged into the target heap at the next window boundary,
+// ordered by (time, virtual send time, source shard, outbox sequence);
+// t must be at least the sending shard's window end (guaranteed by any
+// delay >= Lookahead), or AtRank panics with a lookahead violation.
+// It must be called from a flow of control running on rank from's
+// shard (from's rank body, or a handler scheduled to it).
+func (e *Engine) AtRank(t Time, from, to int, fn func()) {
+	if len(e.shardSet) == 0 {
+		e.At(t, fn)
+		return
+	}
+	if e.draining {
+		return
+	}
+	src := e.procs[from].sh
+	dst := e.procs[to].sh
+	if src == dst {
+		src.at(t, fn)
+		return
+	}
+	if t < src.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: cross-shard event violates lookahead: rank %d (shard %d) -> rank %d (shard %d) at %v, window ends %v",
+			from, src.id, to, dst.id, t, src.windowEnd))
+	}
+	src.outSeq++
+	src.outbox[dst.id] = append(src.outbox[dst.id],
+		xev{at: t, sent: src.now, seq: src.outSeq, src: src.id, fn: fn})
+}
 
 // atWake schedules an unpark of p at absolute time t without building
 // a closure.
@@ -367,6 +474,10 @@ type drainSignal struct{}
 // the two paths are indistinguishable in every virtual-time observable.
 func (p *Proc) Elapse(d Time) {
 	if d <= 0 {
+		return
+	}
+	if p.sh != nil {
+		p.sh.elapse(p, d)
 		return
 	}
 	e := p.e
@@ -449,6 +560,10 @@ func (p *Proc) Park(why string) {
 	if e.draining {
 		panic(drainSignal{})
 	}
+	if p.sh != nil {
+		p.sh.park(p, why, false)
+		return
+	}
 	if e.Mode == ModeContinuation {
 		p.contPark(why, false)
 		return
@@ -520,7 +635,11 @@ func (e *Engine) Unpark(p *Proc) {
 	switch p.state {
 	case stateParked:
 		p.state = stateRunnable
-		e.pushRunnable(p)
+		if p.sh != nil {
+			p.sh.pushRunnable(p)
+		} else {
+			e.pushRunnable(p)
+		}
 	case stateRunnable:
 		// Already queued; nothing to do.
 	case stateDone:
@@ -603,6 +722,9 @@ func (e *Engine) Run(n int, body func(p *Proc)) error {
 	}
 	e.body = body
 	e.procs = make([]*Proc, n)
+	if e.Mode == ModeParallel {
+		return e.runParallel(n)
+	}
 	e.runq = make([]*Proc, n)
 	e.alive = n
 	if e.Mode == ModeContinuation {
@@ -822,16 +944,31 @@ func (e *Engine) fiberLoop(p *Proc) {
 }
 
 // runBody executes one rank body with the same recovery semantics as
-// the goroutine-mode runner.
+// the goroutine-mode runner. In parallel mode the failure and alive
+// bookkeeping is per shard: shards run concurrently, and the
+// coordinator merges their outcomes deterministically at the barrier.
 func (e *Engine) runBody(p *Proc) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, drained := r.(drainSignal); !drained && e.failure == nil {
-				e.failure = &rankPanic{rank: p.id, val: r}
+			if _, drained := r.(drainSignal); !drained {
+				if sh := p.sh; sh != nil {
+					if sh.failure == nil {
+						sh.failure = &rankPanic{rank: p.id, val: r}
+					}
+				} else if e.failure == nil {
+					e.failure = &rankPanic{rank: p.id, val: r}
+				}
 			}
 		}
 		p.state = stateDone
-		e.alive--
+		if sh := p.sh; sh != nil {
+			sh.alive--
+			if sh.alive == 0 {
+				sh.lastFinish = sh.now
+			}
+		} else {
+			e.alive--
+		}
 	}()
 	p.state = stateRunning
 	e.body(p)
