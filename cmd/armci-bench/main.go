@@ -64,6 +64,13 @@
 //	               and print an mpiP-style report: top operations, phase
 //	               percentages, hottest rank pairs, link utilization.
 //	               With -json dir, also writes dir/PROF_<fig>.json
+//	-critpath      record the happens-before graph of every job and
+//	               print the exact critical path: which operations,
+//	               wait chains, and ranks the end-to-end virtual time
+//	               actually decomposes into (the per-job segment sums
+//	               equal the makespans exactly), side by side with the
+//	               flat profiler shares. With -json dir, also writes
+//	               dir/CRIT_<fig>.json
 //	-json dir      also write each figure as dir/BENCH_<name>.json
 //
 // All output is in deterministic virtual time: repeat runs of the same
@@ -97,6 +104,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-rank observability metrics after the figure sweeps")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the figure sweeps")
 	profile := flag.Bool("profile", false, "attribute per-operation virtual time to phases and print an mpiP-style report")
+	critpath := flag.Bool("critpath", false, "record dependence chains and print the exact critical-path report (with -json, also CRIT_<fig>.json)")
 	jsonDir := flag.String("json", "", "also write each figure as BENCH_<name>.json into this directory")
 	batch := flag.Int("batch", -1, "batched-method operations per epoch (0 = unlimited; -1 = default)")
 	stridedMethod := flag.String("strided-method", "", "strided transfer method (conservative, batched, iov-direct, direct, auto)")
@@ -123,6 +131,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
+	if err := checkObsSharding(*shards, *stats, *profile, *critpath, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "armci-bench:", err)
+		os.Exit(1)
+	}
 
 	if *runtimeName != "" {
 		impl, err := harness.ParseImpl(*runtimeName)
@@ -136,7 +148,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
-	if err := run(*fig, *plat, *op, *quick, *stats, *profile, *trace, *jsonDir); err != nil {
+	if err := run(*fig, *plat, *op, *quick, *stats, *profile, *critpath, *trace, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "armci-bench:", err)
 		os.Exit(1)
 	}
@@ -164,6 +176,40 @@ func installSched(sched string, schedSet bool, shards int) error {
 	}
 	harness.Shards = shards
 	return nil
+}
+
+// checkObsSharding rejects, at parse time, flag combinations that would
+// attach a single observability recorder to a multi-shard parallel run.
+// armci-bench's recorder-backed sweeps are full-stack jobs, which always
+// execute as one shard regardless of -shards; the only sweep that fans
+// out (-fig parallel-speedup) takes no recorder. Rather than silently
+// ignore either flag, the conflict is an error naming every flag
+// involved. (Multi-shard critical-path recording itself is supported —
+// the bench test suite drives it through obs.Sharded and its
+// deterministic per-shard merge — it is only this CLI pairing that has
+// no meaning.)
+func checkObsSharding(shards int, stats, profile, critpath bool, trace string) error {
+	if shards <= 1 {
+		return nil
+	}
+	var set []string
+	if stats {
+		set = append(set, "-stats")
+	}
+	if profile {
+		set = append(set, "-profile")
+	}
+	if critpath {
+		set = append(set, "-critpath")
+	}
+	if trace != "" {
+		set = append(set, "-trace")
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s cannot be combined with -shards %d: observability attaches one recorder per sweep, and the multi-shard parallel-speedup sweep runs without one (full-stack figure sweeps always execute as a single shard; rerun with -shards 1 or drop %s)",
+		strings.Join(set, "/"), shards, strings.Join(set, "/"))
 }
 
 // installTweak translates the runtime-tuning flags into the bench
@@ -210,7 +256,7 @@ func platforms(name string) ([]*platform.Platform, error) {
 	return []*platform.Platform{p}, nil
 }
 
-func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, jsonDir string) error {
+func run(fig, plat, opFilter string, quick, stats, profile, critpath bool, traceFile, jsonDir string) error {
 	// Accept the combined figN-plat spelling used by the guarded
 	// artifact names: -fig fig3-ib == -fig 3 -platform ib.
 	profName := fig
@@ -229,8 +275,8 @@ func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, json
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
 	var rec *obs.Recorder
-	if stats || profile || traceFile != "" {
-		rec = obs.New(obs.Options{Trace: traceFile != "", Profile: profile})
+	if stats || profile || critpath || traceFile != "" {
+		rec = obs.New(obs.Options{Trace: traceFile != "", Profile: profile, CritPath: critpath})
 	}
 	if err := runFigures(fig, plat, opFilter, quick, rec, jsonDir); err != nil {
 		return err
@@ -263,6 +309,27 @@ func run(fig, plat, opFilter string, quick, stats, profile bool, traceFile, json
 				return err
 			}
 			if err := pr.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "armci-bench: wrote", path)
+		}
+	}
+	if critpath {
+		cr := rec.Crit()
+		if err := cr.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "CRIT_"+profName+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := cr.WriteJSON(f); err != nil {
 				f.Close()
 				return err
 			}

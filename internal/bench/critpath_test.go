@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/armcimpi"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// critWorkload extends the mixed profiler workload with a contended
+// mutex section, so the analyzed dependence graph includes lock-queue
+// grant chains (the hopGrant edge kind) on every runtime.
+func critWorkload(t *testing.T, rt armci.Runtime) {
+	profWorkload(t, rt)
+	mtx, err := rt.CreateMutexes(1)
+	if err != nil {
+		t.Errorf("CreateMutexes: %v", err)
+		return
+	}
+	// All ranks contend for mutex (0, 0), so every unlock forwards the
+	// grant to a queued waiter.
+	mtx.Lock(0, 0)
+	rt.Proc().Elapse(500)
+	mtx.Unlock(0, 0)
+	rt.Barrier()
+	if err := mtx.Destroy(); err != nil {
+		t.Errorf("Destroy: %v", err)
+	}
+}
+
+// critRun executes critWorkload under impl/opt/mode with a
+// critical-path recorder attached, returning the recorder and the
+// engine's final virtual time.
+func critRun(t *testing.T, impl harness.Impl, opt armcimpi.Options, mode sim.Mode) (*obs.Recorder, sim.Time) {
+	t.Helper()
+	rec := obs.New(obs.Options{CritPath: true})
+	j, err := harness.NewJobObs(harness.TestPlatform(), 4, impl, opt, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Eng.Mode = mode
+	if err := j.Eng.Run(4, func(p *sim.Proc) { critWorkload(t, j.Runtime(p)) }); err != nil {
+		t.Fatal(err)
+	}
+	return rec, j.Eng.Stats().FinalTime
+}
+
+// TestCritPathInvariantMatrix pins the analyzer's central invariant on
+// every runtime configuration under all three scheduler modes: the
+// critical-path segment durations sum exactly to the job makespan, and
+// the makespan is exactly the engine's end-to-end virtual time.
+func TestCritPathInvariantMatrix(t *testing.T) {
+	modes := []struct {
+		name string
+		mode sim.Mode
+	}{
+		{"goroutine", sim.ModeGoroutine},
+		{"continuation", sim.ModeContinuation},
+		{"parallel", sim.ModeParallel},
+	}
+	for _, cfg := range profConfigs() {
+		for _, m := range modes {
+			t.Run(cfg.name+"/"+m.name, func(t *testing.T) {
+				rec, final := critRun(t, cfg.impl, cfg.opt, m.mode)
+				jobs := rec.Crit().Jobs()
+				if len(jobs) != 1 {
+					t.Fatalf("expected 1 analyzed job, got %d", len(jobs))
+				}
+				jb := jobs[0]
+				if jb.Makespan != final {
+					t.Errorf("makespan %d ns != engine final time %d ns", jb.Makespan, final)
+				}
+				if jb.PathNs != jb.Makespan {
+					t.Errorf("critical path sum %d ns != makespan %d ns (off by %d)",
+						jb.PathNs, jb.Makespan, jb.PathNs-jb.Makespan)
+				}
+				if jb.Segments == 0 {
+					t.Error("no critical-path segments recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestCritPathSchedulerModesAgree requires the analyzed critical path —
+// not just its sum — to be identical across the three scheduler modes:
+// same report bytes, same JSON bytes. The schedulers execute the same
+// virtual schedule, so the dependence graph and its longest path must
+// not depend on how the host drives it.
+func TestCritPathSchedulerModesAgree(t *testing.T) {
+	build := func(mode sim.Mode) (report, js []byte) {
+		rec, _ := critRun(t, harness.ImplARMCIMPI, armcimpi.DefaultOptions(), mode)
+		var rb, jb bytes.Buffer
+		if err := rec.Crit().WriteReport(&rb); err != nil {
+			t.Fatalf("WriteReport: %v", err)
+		}
+		if err := rec.Crit().WriteJSON(&jb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return rb.Bytes(), jb.Bytes()
+	}
+	rGo, jGo := build(sim.ModeGoroutine)
+	rCont, jCont := build(sim.ModeContinuation)
+	rPar, jPar := build(sim.ModeParallel)
+	if !bytes.Equal(rGo, rCont) {
+		t.Errorf("goroutine and continuation reports differ:\n%s\n---\n%s", rGo, rCont)
+	}
+	if !bytes.Equal(rGo, rPar) {
+		t.Errorf("goroutine and parallel reports differ:\n%s\n---\n%s", rGo, rPar)
+	}
+	if !bytes.Equal(jGo, jCont) || !bytes.Equal(jGo, jPar) {
+		t.Error("critical-path JSON differs across scheduler modes")
+	}
+}
+
+// TestCritPathReportDeterministic requires the text report and JSON
+// export to be byte-identical across two independent runs — the
+// property the CRIT_* CI artifact guard rests on — and the JSON to be
+// newline-terminated.
+func TestCritPathReportDeterministic(t *testing.T) {
+	build := func() (report, js []byte) {
+		rec, _ := critRun(t, harness.ImplARMCIMPI, armcimpi.DefaultOptions(), sim.ModeGoroutine)
+		var rb, jb bytes.Buffer
+		if err := rec.Crit().WriteReport(&rb); err != nil {
+			t.Fatalf("WriteReport: %v", err)
+		}
+		if err := rec.Crit().WriteJSON(&jb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return rb.Bytes(), jb.Bytes()
+	}
+	r1, j1 := build()
+	r2, j2 := build()
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("text report differs between identical runs:\n%s\n---\n%s", r1, r2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("critical-path JSON differs between identical runs:\n%s\n---\n%s", j1, j2)
+	}
+	if len(j1) == 0 || j1[len(j1)-1] != '\n' {
+		t.Error("critical-path JSON missing trailing newline")
+	}
+}
+
+// TestCritPathShardedExact drives the multi-shard parallel engine with
+// the sharded observability front at 1, 2, and 4 shards: the invariant
+// must hold on the merged recorder at every shard count, and the
+// analyzed critical path must be byte-identical across shard counts —
+// the per-shard edge logs stitch back into the exact single-shard walk.
+func TestCritPathShardedExact(t *testing.T) {
+	var ref []byte
+	var refFinal sim.Time
+	for _, k := range []int{1, 2, 4} {
+		rec, st, err := ParallelScaleRunObs(256, 2, k, obs.Options{CritPath: true})
+		if err != nil {
+			t.Fatalf("%d shards: %v", k, err)
+		}
+		jobs := rec.Crit().Jobs()
+		if len(jobs) != 1 {
+			t.Fatalf("%d shards: expected 1 analyzed job, got %d", k, len(jobs))
+		}
+		jb := jobs[0]
+		if jb.Makespan != st.FinalTime {
+			t.Errorf("%d shards: makespan %d ns != final time %d ns", k, jb.Makespan, st.FinalTime)
+		}
+		if jb.PathNs != jb.Makespan {
+			t.Errorf("%d shards: path sum %d ns != makespan %d ns", k, jb.PathNs, jb.Makespan)
+		}
+		var jbuf bytes.Buffer
+		if err := rec.Crit().WriteJSON(&jbuf); err != nil {
+			t.Fatalf("%d shards: WriteJSON: %v", k, err)
+		}
+		if ref == nil {
+			ref, refFinal = jbuf.Bytes(), st.FinalTime
+			continue
+		}
+		if st.FinalTime != refFinal {
+			t.Errorf("%d shards: final time %d ns != 1-shard %d ns", k, st.FinalTime, refFinal)
+		}
+		if !bytes.Equal(ref, jbuf.Bytes()) {
+			t.Errorf("%d shards: critical-path JSON differs from the 1-shard analysis", k)
+		}
+	}
+}
+
+// TestCritPathDoesNotPerturbFigures runs a figure sweep with and
+// without the critical-path recorder attached and requires
+// byte-identical figure JSON: recording dependence edges is pure
+// observation and must not move any virtual timestamp.
+func TestCritPathDoesNotPerturbFigures(t *testing.T) {
+	build := func(rec *obs.Recorder) []byte {
+		cfg := Fig3Config{MinExp: 3, MaxExp: 10, Iters: 2, Obs: rec}
+		fig := &Figure{Name: "crit-perturb", Title: "check", XLabel: "x", YLabel: "GB/s"}
+		for _, op := range []ContigOp{OpGet, OpPut, OpAcc} {
+			s, err := ContigBandwidth(harness.TestPlatform(), harness.ImplARMCIMPI, op, cfg)
+			if err != nil {
+				t.Fatalf("ContigBandwidth(%s): %v", op, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		var b bytes.Buffer
+		if err := fig.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	plain := build(nil)
+	observed := build(obs.New(obs.Options{CritPath: true}))
+	if !bytes.Equal(plain, observed) {
+		t.Errorf("figure JSON changed when the critical-path recorder was attached:\n%s\n---\n%s", plain, observed)
+	}
+}

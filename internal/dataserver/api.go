@@ -612,8 +612,17 @@ func (s *mutexSet) Unlock(mtx, proc int) {
 		}
 		next := q[0]
 		s.host.queue[key] = q[1:]
+		relAt := eng.Now()
+		by := r.Rank()
 		back := m.SendDataAsync(proc, next.p.ID(), 0, fabric.XferOpt{NoNIC: true})
-		eng.At(back, next.grant)
+		eng.At(back, func() {
+			// Critical path: the waiter's lock wait ends because this
+			// rank released the mutex at relAt.
+			if c := m.Obs.Crit(); c != nil {
+				c.WakeGrant(next.p.ID(), by, relAt)
+			}
+			next.grant()
+		})
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 	"repro/internal/sim"
 )
 
@@ -18,11 +19,17 @@ type Msg struct {
 	Size    int
 	Payload interface{}
 	Arrived sim.Time
+
+	// chain is the message's dependence edge in the critical-path
+	// recorder (zero when analysis is off): set at the send site, it
+	// names the delivery as the wake cause of whoever it releases.
+	chain critpath.Ref
 }
 
 // mailbox holds delivered-but-unreceived messages and the set of
 // waiters parked on a match.
 type mailbox struct {
+	owner   int // rank this mailbox belongs to
 	queue   []*Msg
 	waiters []*waiter
 }
@@ -111,7 +118,12 @@ func (m *Machine) Deliver(dst int, msg *Msg, opt XferOpt) sim.Time {
 	if dst < 0 || dst >= m.NRanks {
 		panic(fmt.Sprintf("fabric: Deliver to bad rank %d", dst))
 	}
-	_, arrive := m.xferCost(m.Eng.Now(), msg.From, dst, msg.Size, opt)
+	now := m.Eng.Now()
+	_, arrive := m.xferCost(now, msg.From, dst, msg.Size, opt)
+	if c := m.Obs.Crit(); c != nil {
+		nicS, nicD := m.xferNics(msg.From, dst, opt)
+		msg.chain = c.MsgHop(msg.From, now, m.lastXfer.Start, arrive, nicS, nicD, c.Ambient())
+	}
 	box := m.boxes[dst]
 	m.Eng.At(arrive, func() {
 		msg.Arrived = arrive
@@ -123,7 +135,9 @@ func (m *Machine) Deliver(dst int, msg *Msg, opt XferOpt) sim.Time {
 
 // matchWaiters wakes every parked waiter whose predicate now matches a
 // queued message, consuming matched messages in FIFO order. Callback
-// waiters run inline (event context); proc waiters are unparked.
+// waiters run inline (event context) under the matched message's
+// dependence provenance; proc waiters have the message named as their
+// wake cause, then are unparked.
 func (m *Machine) matchWaiters(box *mailbox) {
 	for i := 0; i < len(box.waiters); {
 		w := box.waiters[i]
@@ -132,8 +146,17 @@ func (m *Machine) matchWaiters(box *mailbox) {
 			box.queue = append(box.queue[:idx], box.queue[idx+1:]...)
 			box.waiters = append(box.waiters[:i], box.waiters[i+1:]...)
 			if w.fn != nil {
-				w.fn(w.got)
+				if c := m.critOf(box.owner); c != nil {
+					prev := c.SetAmbient(w.got.chain)
+					w.fn(w.got)
+					c.SetAmbient(prev)
+				} else {
+					w.fn(w.got)
+				}
 			} else {
+				if c := m.critOf(w.p.ID()); c != nil {
+					c.WakeCause(w.p.ID(), w.got.chain)
+				}
 				m.Eng.Unpark(w.p)
 			}
 			continue
@@ -178,7 +201,15 @@ func (m *Machine) OnRecv(rank int, match func(*Msg) bool, fn func(*Msg)) {
 		msg := box.queue[idx]
 		box.queue = append(box.queue[:idx], box.queue[idx+1:]...)
 		// Run via the event queue so the caller's context never nests.
-		m.Eng.At(m.Eng.Now(), func() { fn(msg) })
+		m.Eng.At(m.Eng.Now(), func() {
+			if c := m.critOf(rank); c != nil {
+				prev := c.SetAmbient(msg.chain)
+				fn(msg)
+				c.SetAmbient(prev)
+				return
+			}
+			fn(msg)
+		})
 		return
 	}
 	box.waiters = append(box.waiters, &waiter{match: match, fn: fn})
@@ -214,6 +245,15 @@ func (m *Machine) SendData(p *sim.Proc, dst, n int, opt XferOpt) {
 func (m *Machine) SendDataAsync(from, dst, n int, opt XferOpt) sim.Time {
 	_, arrive := m.xferCost(m.Eng.Now(), from, dst, n, opt)
 	return arrive
+}
+
+// xferNics returns the (origin, destination) NIC nodes a transfer
+// occupies, or (-1, -1) when it bypasses the links.
+func (m *Machine) xferNics(src, dst int, opt XferOpt) (int, int) {
+	if opt.NoNIC || m.SameNode(src, dst) {
+		return -1, -1
+	}
+	return m.NodeOf(src), m.NodeOf(dst)
 }
 
 // RoundTripTime returns the cost of a minimal control round trip

@@ -103,6 +103,9 @@ func (m *Machine) DeliverSharded(p *sim.Proc, dst int, msg *Msg, opt XferOpt) si
 		if arrive <= now {
 			arrive = now + 1
 		}
+		if c := m.critOf(src); c != nil {
+			msg.chain = c.MsgHop(src, now, now, arrive, -1, -1, c.Ambient())
+		}
 		m.Eng.AtRank(arrive, src, dst, func() {
 			msg.Arrived = arrive
 			box.queue = append(box.queue, msg)
@@ -124,6 +127,10 @@ func (m *Machine) DeliverSharded(p *sim.Proc, dst int, msg *Msg, opt XferOpt) si
 		s.freeAt = start + occupy
 	}
 	arrive := start + occupy + sim.FromSeconds(par.LatencyNs/1e9)
+	if c := m.critOf(src); c != nil {
+		nicS, nicD := m.xferNics(src, dst, opt)
+		msg.chain = c.MsgHop(src, now, start, arrive, nicS, nicD, c.Ambient())
+	}
 	m.Eng.AtRank(arrive, src, dst, func() {
 		land := arrive
 		if !opt.NoNIC {
@@ -134,6 +141,12 @@ func (m *Machine) DeliverSharded(p *sim.Proc, dst int, msg *Msg, opt XferOpt) si
 			d.freeAt = land + occupy
 		}
 		if land > arrive {
+			// The edge extension is recorded on the destination shard's
+			// recorder (this closure runs there); the origin shard's hop
+			// table is never touched after the send.
+			if c := m.critOf(dst); c != nil {
+				msg.chain = c.ArbHop(msg.From, arrive, land, m.NodeOf(dst), msg.chain)
+			}
 			m.Eng.AtRank(land, dst, dst, func() {
 				msg.Arrived = land
 				box.queue = append(box.queue, msg)

@@ -67,7 +67,10 @@ type activeEpoch struct {
 type lockWaiter struct {
 	originWorld int
 	ltype       LockType
-	grant       func(at sim.Time)
+	// grant hands the lock over at time at; by is the world rank whose
+	// release made the grant possible (-1 for an uncontended direct
+	// grant), feeding the critical-path wait-chain attribution.
+	grant func(at sim.Time, by int)
 }
 
 // targetLock arbitrates passive-target access to one window rank.
@@ -389,13 +392,20 @@ func (w *Win) Lock(lt LockType, target int) error {
 	ep := &epoch{target: target, ltype: lt}
 	w.cur = ep
 	granted := false
-	grant := func(at sim.Time) {
+	grant := func(at sim.Time, by int) {
 		ae := &activeEpoch{originWorld: r.ID(), ltype: lt}
 		ep.active = ae
 		tl.holders = append(tl.holders, ae)
 		// Grant notification travels back to the origin.
 		eng.At(at+notify, func() {
 			granted = true
+			if by >= 0 {
+				// A queued grant: name the releasing rank as the edge
+				// that ends the origin's lock wait.
+				if c := r.W.Obs.Crit(); c != nil {
+					c.WakeGrant(p.ID(), by, at)
+				}
+			}
 			eng.Unpark(p)
 		})
 	}
@@ -405,7 +415,7 @@ func (w *Win) Lock(lt LockType, target int) error {
 	}
 	eng.At(arrive, func() {
 		if tl.grantable(lt) {
-			grant(eng.Now())
+			grant(eng.Now(), -1)
 		} else {
 			tl.queue = append(tl.queue, lockWaiter{originWorld: r.ID(), ltype: lt, grant: grant})
 		}
@@ -440,8 +450,9 @@ func (w *Win) Lock(lt LockType, target int) error {
 }
 
 // release drops the epoch's hold at the target and hands the lock to
-// eligible waiters. Runs in event context at the target.
-func (ws *winState) release(tl *targetLock, ae *activeEpoch, now sim.Time) {
+// eligible waiters. Runs in event context at the target; by is the
+// world rank performing the release (the grant chain's blocking rank).
+func (ws *winState) release(tl *targetLock, ae *activeEpoch, now sim.Time, by int) {
 	for i, h := range tl.holders {
 		if h == ae {
 			tl.holders = append(tl.holders[:i], tl.holders[i+1:]...)
@@ -458,14 +469,14 @@ func (ws *winState) release(tl *targetLock, ae *activeEpoch, now sim.Time) {
 				return
 			}
 			tl.queue = tl.queue[1:]
-			next.grant(now)
+			next.grant(now, by)
 			return
 		}
 		if tl.heldExclusive() {
 			return
 		}
 		tl.queue = tl.queue[1:]
-		next.grant(now)
+		next.grant(now, by)
 	}
 }
 
@@ -502,14 +513,14 @@ func (w *Win) Unlock(target int) error {
 	done := false
 	if w.shmFast(target) {
 		eng.At(p.Now()+w.shmLatency(), func() {
-			ws.release(tl, ep.active, eng.Now())
+			ws.release(tl, ep.active, eng.Now(), r.ID())
 			done = true
 			eng.Unpark(p)
 		})
 	} else {
 		arrive := r.control(targetWorld)
 		eng.At(arrive, func() {
-			ws.release(tl, ep.active, eng.Now())
+			ws.release(tl, ep.active, eng.Now(), r.ID())
 			eng.At(eng.Now()+r.W.M.RoundTripTime(targetWorld, r.ID())/2, func() {
 				done = true
 				eng.Unpark(p)

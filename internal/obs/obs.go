@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"repro/internal/obs/critpath"
 	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
@@ -33,6 +34,7 @@ type Recorder struct {
 	m      *Metrics
 	tr     *Tracer
 	prof   *profile.Profiler
+	crit   *critpath.Rec
 	pid    int    // current job id (trace "process")
 	job    string // current job label
 	nranks int
@@ -68,6 +70,10 @@ type Options struct {
 	Trace bool
 	// Profile enables the phase-attribution profiler.
 	Profile bool
+	// CritPath enables the critical-path recorder. It needs the
+	// profiler's raw phase stream, so the profiler is created too
+	// (its report stays opt-in via Profile).
+	CritPath bool
 }
 
 // New creates an empty Recorder. The clock is bound per job by
@@ -77,8 +83,12 @@ func New(opt Options) *Recorder {
 	if opt.Trace {
 		r.tr = NewTracer()
 	}
-	if opt.Profile {
+	if opt.Profile || opt.CritPath {
 		r.prof = profile.New()
+	}
+	if opt.CritPath {
+		r.crit = critpath.New(r.prof)
+		r.prof.SetSink(r.crit)
 	}
 	return r
 }
@@ -105,6 +115,16 @@ func (r *Recorder) Prof() *profile.Profiler {
 		return nil
 	}
 	return r.prof
+}
+
+// Crit returns the critical-path recorder, or nil when critical-path
+// analysis is off (or the recorder itself is nil). Hook sites capture
+// it per call: c := o.Crit(); if c != nil { ... }.
+func (r *Recorder) Crit() *critpath.Rec {
+	if r == nil {
+		return nil
+	}
+	return r.crit
 }
 
 // BeginJob opens a new trace process for one simulated job: label
@@ -135,6 +155,7 @@ func (r *Recorder) beginJob(label string, clock Clock, nranks int, meta bool) {
 		r.tr.meta(r.pid, label, nranks)
 	}
 	r.prof.BeginJob(clock, nranks)
+	r.crit.BeginJob(label, clock)
 }
 
 // now returns the current virtual time, or zero with no bound clock.
@@ -253,6 +274,7 @@ func (r *Recorder) RankParked(rank int, why string, at sim.Time) {
 	}
 	r.parkAt[rank] = at
 	r.parkWhy[rank] = why
+	r.crit.Parked(rank, why, at)
 }
 
 // RankResumed implements sim.Observer: the parked rank was released.
@@ -270,4 +292,14 @@ func (r *Recorder) RankResumed(rank int, at sim.Time) {
 	if r.tr != nil {
 		r.tr.span(r.pid, rank, "sched", n.span, r.parkAt[rank], at, nil)
 	}
+	r.crit.Resumed(rank, at)
+}
+
+// RankFinished implements sim.FinishObserver: rank's body returned.
+// The critical-path analyzer starts its walk from the last finisher.
+func (r *Recorder) RankFinished(rank int, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.crit.Finished(rank, at)
 }

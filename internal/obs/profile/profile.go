@@ -240,11 +240,25 @@ type LinkStat struct {
 	MaxBacklog sim.Time // deepest queue horizon seen (freeAt - now)
 }
 
+// Sink receives every raw phase attribution before the profiler's own
+// scope and cursor gating: the interval exactly as the hook reported
+// it, with the rank's open operation (or NumOps when no scope is
+// open). It also receives each operation scope as it closes, so the
+// consumer can attribute otherwise-uncovered time to the operation
+// that contained it. The critical-path recorder consumes this stream —
+// its activity log needs the event-context attributions (epoch waits,
+// target-side service) that the profiler's sealed-scope rule drops.
+type Sink interface {
+	RawPhase(rank int, op Op, ph Phase, start, end sim.Time)
+	RawScope(rank int, op Op, start, end sim.Time)
+}
+
 // Profiler aggregates phase attributions across one or more simulated
 // jobs. The cooperative scheduler guarantees single-threaded access.
 type Profiler struct {
 	clock  Clock
 	scopes []scope
+	sink   Sink
 
 	hists  [NumOps][NumPhases][]Hist // per-rank phase histograms
 	totals [NumOps][]Hist            // per-rank whole-op histograms
@@ -314,7 +328,11 @@ func (p *Profiler) End(rank int) {
 		return
 	}
 	sc.open = false
-	total := p.clock.Now() - sc.begin
+	now := p.clock.Now()
+	if p.sink != nil {
+		p.sink.RawScope(rank, sc.op, sc.begin, now)
+	}
+	total := now - sc.begin
 	var sum sim.Time
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		sum += sc.phases[ph]
@@ -336,13 +354,24 @@ func (p *Profiler) End(rank int) {
 // ph. Only the part past the scope's cursor is credited (earlier
 // attributions own the overlap); with no open scope the interval is
 // dropped — late event-context attributions against an already sealed
-// nonblocking scope must not leak into the next operation.
+// nonblocking scope must not leak into the next operation. The raw
+// interval is forwarded to the sink, if any, before either gate.
 func (p *Profiler) PhaseAt(rank int, ph Phase, start, end sim.Time) {
-	if p == nil || rank < 0 || rank >= len(p.scopes) {
+	if p == nil || rank < 0 {
 		return
 	}
-	sc := &p.scopes[rank]
-	if !sc.open {
+	var sc *scope
+	if rank < len(p.scopes) {
+		sc = &p.scopes[rank]
+	}
+	if p.sink != nil {
+		op := NumOps
+		if sc != nil && sc.open {
+			op = sc.op
+		}
+		p.sink.RawPhase(rank, op, ph, start, end)
+	}
+	if sc == nil || !sc.open {
 		return
 	}
 	if start < sc.cursor {
@@ -354,6 +383,14 @@ func (p *Profiler) PhaseAt(rank int, ph Phase, start, end sim.Time) {
 	if end > start {
 		sc.phases[ph] += end - start
 	}
+}
+
+// SetSink installs (or, with nil, removes) the raw-attribution sink.
+func (p *Profiler) SetSink(s Sink) {
+	if p == nil {
+		return
+	}
+	p.sink = s
 }
 
 // InScope reports whether rank has an open operation scope (used by

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"repro/internal/obs/critpath"
 	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
@@ -37,6 +38,14 @@ func NewSharded(opt Options, shards int) *Sharded {
 	s := &Sharded{recs: make([]*Recorder, shards)}
 	for i := range s.recs {
 		s.recs[i] = New(opt)
+		if opt.CritPath {
+			// Re-key the critical-path recorder with the shard id so
+			// dependence-edge references resolve across shards after
+			// the merge; a shard recorder's logs are partial, so it
+			// defers analysis to Merge.
+			s.recs[i].crit = critpath.NewShard(i, s.recs[i].prof)
+			s.recs[i].prof.SetSink(s.recs[i].crit)
+		}
 	}
 	return s
 }
@@ -89,6 +98,16 @@ func (s *Sharded) Merge() *Recorder {
 			out.tr.events = append(out.tr.events, r.tr.events...)
 		}
 		out.prof.Merge(r.prof)
+	}
+	if r0.crit != nil {
+		crits := make([]*critpath.Rec, len(s.recs))
+		for i, r := range s.recs {
+			crits[i] = r.crit
+		}
+		// The shard logs are disjoint per rank and edge references
+		// carry their shard id, so the stitched recorder analyzes the
+		// run exactly as a single-shard recorder would have.
+		out.crit = critpath.Merge(crits, out.prof)
 	}
 	return out
 }

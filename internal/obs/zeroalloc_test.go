@@ -3,6 +3,7 @@ package obs
 import (
 	"testing"
 
+	"repro/internal/obs/critpath"
 	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
@@ -92,6 +93,97 @@ func TestProfilerRecordPathAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warm profiler record cycle allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestDisabledCritPathAllocatesNothing pins the disabled critical-path
+// cost to zero heap allocations: a nil *critpath.Rec is what every
+// dependence-edge hook site holds when -critpath is off (fabric
+// delivery, lock grants, park/resume forwarding), and each method must
+// return before touching any state.
+func TestDisabledCritPathAllocatesNothing(t *testing.T) {
+	r := New(Options{}) // no CritPath: Crit() returns nil
+	c := r.Crit()
+	if c != nil {
+		t.Fatal("recorder without Options.CritPath returned a critpath recorder")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Parked(0, "recv", 0)
+		c.Resumed(0, 5)
+		c.Finished(0, 9)
+		_ = c.MsgHop(0, 1, 2, 3, 0, 1, 0)
+		_ = c.ArbHop(0, 1, 2, 1, 0)
+		c.WakeCause(0, 7)
+		c.WakeGrant(0, 1, 3)
+		c.WakeAmbient(0)
+		_ = c.Ambient()
+		_ = c.SetAmbient(0)
+		c.RawPhase(0, profile.OpPut, profile.PhaseWire, 0, 5)
+		c.RawScope(0, profile.OpPut, 0, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("nil critpath recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCritPathClosedJobDropsRecords pins the closed-recorder edge
+// paths: after the job is flushed (r.open false), phase and scope
+// forwarding must drop their records without growing any log, so
+// late attributions cannot corrupt the next job's analysis.
+func TestCritPathClosedJobDropsRecords(t *testing.T) {
+	r := New(Options{CritPath: true})
+	c := r.Crit()
+	if c == nil {
+		t.Fatal("recorder with Options.CritPath returned nil critpath recorder")
+	}
+	// No BeginJob yet: the recorder is closed.
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.RawPhase(0, profile.OpPut, profile.PhaseWire, 0, 5)
+		c.RawScope(0, profile.OpPut, 0, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("closed critpath recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCritPathWarmRecordCycleBounded pins the enabled recorder's
+// steady-state record cycle once the per-rank logs are warm: the logs
+// append into reused backing arrays, so a full
+// park/hop/wake/resume/phase cycle must stay allocation-free after
+// BeginJob reset reuses the arrays grown by an earlier job.
+func TestCritPathWarmRecordCycleBounded(t *testing.T) {
+	r := New(Options{CritPath: true})
+	r.BeginJob("warm", fixedClock(0), 4)
+	c := r.Crit()
+	var refs [16]critpath.Ref
+	cycle := func() {
+		for i := range refs {
+			c.Parked(1, "recv", sim.Time(i))
+			ref := c.MsgHop(0, sim.Time(i), sim.Time(i+1), sim.Time(i+2), 0, 1, 0)
+			c.WakeCause(1, ref)
+			c.Resumed(1, sim.Time(i+3))
+			c.RawPhase(1, profile.OpGet, profile.PhaseWire, sim.Time(i), sim.Time(i+3))
+			c.RawScope(1, profile.OpGet, sim.Time(i), sim.Time(i+3))
+			refs[i] = ref
+		}
+	}
+	cycle() // grow the logs once
+	// A new job reuses the grown arrays; the same cycle must then be
+	// free except for amortized slice growth, which the first pass
+	// already paid.
+	r.BeginJob("warm2", fixedClock(0), 4)
+	cycle()
+	r.BeginJob("warm3", fixedClock(0), 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		cycle()
+		// Reset the per-job logs without analyzing (analysis allocates
+		// its aggregate, which is a per-job cost, not a per-record one).
+		r.BeginJob("warm3", fixedClock(0), 4)
+	})
+	// The analyze/flush in BeginJob builds per-job records; allow that
+	// bounded per-job cost but not per-record growth (16 records/run).
+	if allocs > 8 {
+		t.Errorf("warm critpath record cycle allocated %.1f per run, want <= 8 (bounded per-job, zero per-record)", allocs)
 	}
 }
 

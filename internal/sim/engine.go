@@ -264,6 +264,16 @@ type Observer interface {
 	RankResumed(rank int, at Time)
 }
 
+// FinishObserver is an optional Observer extension: when the installed
+// observer also implements it, RankFinished fires as each rank's body
+// returns normally (never during an abnormal drain), carrying the
+// rank's completion time — the job makespan is the maximum over ranks.
+// In parallel mode the callback runs on the owning shard's worker
+// against the shard's observer, like the other callbacks.
+type FinishObserver interface {
+	RankFinished(rank int, at Time)
+}
+
 // Engine runs a fixed set of ranks to completion under a virtual
 // clock.
 type Engine struct {
@@ -745,13 +755,19 @@ func (e *Engine) runGoroutine(n int) error {
 		p := p
 		go func() {
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				if r != nil {
 					if _, drained := r.(drainSignal); !drained && e.failure == nil {
 						e.failure = &rankPanic{rank: p.id, val: r}
 					}
 				}
 				p.state = stateDone
 				e.alive--
+				if r == nil && !e.draining {
+					if f, ok := e.obs.(FinishObserver); ok {
+						f.RankFinished(p.id, e.now)
+					}
+				}
 				e.schedWake <- struct{}{}
 			}()
 			<-p.wake // wait for first dispatch
@@ -949,7 +965,8 @@ func (e *Engine) fiberLoop(p *Proc) {
 // coordinator merges their outcomes deterministically at the barrier.
 func (e *Engine) runBody(p *Proc) {
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		if r != nil {
 			if _, drained := r.(drainSignal); !drained {
 				if sh := p.sh; sh != nil {
 					if sh.failure == nil {
@@ -966,8 +983,18 @@ func (e *Engine) runBody(p *Proc) {
 			if sh.alive == 0 {
 				sh.lastFinish = sh.now
 			}
+			if r == nil && !e.draining {
+				if f, ok := sh.obs.(FinishObserver); ok {
+					f.RankFinished(p.id, sh.now)
+				}
+			}
 		} else {
 			e.alive--
+			if r == nil && !e.draining {
+				if f, ok := e.obs.(FinishObserver); ok {
+					f.RankFinished(p.id, e.now)
+				}
+			}
 		}
 	}()
 	p.state = stateRunning
